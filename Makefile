@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test test-short bench repro fuzz vet fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every paper table and figure at full trial counts.
+repro:
+	$(GO) run ./cmd/crbench | tee results/crbench-seed1.txt
+
+fuzz:
+	$(GO) test ./internal/dsp -fuzz FuzzFFTRoundTrip -fuzztime 30s
+	$(GO) test ./internal/core -fuzz FuzzDetect -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

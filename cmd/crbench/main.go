@@ -1,0 +1,201 @@
+// Command crbench regenerates the tables and figures of "Concurrent
+// Ranging with Ultra-Wideband Radios" (Großwindhager et al., ICDCS 2018)
+// from the simulation.
+//
+// Usage:
+//
+//	crbench [-trials N] [-seed S] [experiment ...]
+//
+// Experiments: fig1 fig2 sec3 fig4 fig5 sec5 fig6 table1 sec6 sec7 fig8
+// sec8 campaign ablation. Running without arguments executes all of them. The
+// -trials flag scales the Monte-Carlo experiments: 0 keeps each
+// experiment's paper-faithful default (e.g. 5000 SS-TWR operations for
+// Sect. V), smaller values give quick previews.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/experiments"
+)
+
+type runner func(trials int, seed uint64) (string, error)
+
+var runners = map[string]runner{
+	"fig1": func(int, uint64) (string, error) {
+		r, err := experiments.Fig1()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"fig2": func(_ int, seed uint64) (string, error) {
+		r, err := experiments.Fig2(seed)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"sec3": func(int, uint64) (string, error) {
+		d, err := experiments.Sec3Delay()
+		if err != nil {
+			return "", err
+		}
+		m, err := experiments.Sec3Messages(nil)
+		if err != nil {
+			return "", err
+		}
+		return d.Render() + m.Render(), nil
+	},
+	"fig4": func(trials int, seed uint64) (string, error) {
+		real, err := experiments.Fig4(experiments.Fig4Config{Trials: trials, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		ideal, err := experiments.Fig4(experiments.Fig4Config{
+			Trials: trials, Seed: seed, IdealTransceiver: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		return "--- DW1000 delayed-TX quantization ---\n" + real.Render() +
+			"--- ideal transceiver ---\n" + ideal.Render(), nil
+	},
+	"fig5": func(int, uint64) (string, error) {
+		r, err := experiments.Fig5()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"sec5": func(trials int, seed uint64) (string, error) {
+		r, err := experiments.Sec5(experiments.Sec5Config{Trials: trials, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"fig6": func(_ int, seed uint64) (string, error) {
+		r, err := experiments.Fig6(seed)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table1": func(trials int, seed uint64) (string, error) {
+		r, err := experiments.Table1(experiments.Table1Config{Trials: trials, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"sec6": func(trials int, seed uint64) (string, error) {
+		r, err := experiments.Sec6(experiments.Sec6Config{Trials: trials, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"sec7": func(int, uint64) (string, error) {
+		r, err := experiments.Sec7(nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"fig8": func(trials int, seed uint64) (string, error) {
+		r, err := experiments.Fig8(experiments.Fig8Config{Trials: trials, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"sec8": func(int, uint64) (string, error) {
+		r, err := experiments.Sec8()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"campaign": func(_ int, seed uint64) (string, error) {
+		r, err := experiments.Campaign(nil, seed)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"capture": func(trials int, seed uint64) (string, error) {
+		r, err := experiments.Capture(trials, seed)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"ablation": func(trials int, seed uint64) (string, error) {
+		up, err := experiments.AblationUpsample(trials, seed)
+		if err != nil {
+			return "", err
+		}
+		q, err := experiments.AblationQuantization(trials, seed)
+		if err != nil {
+			return "", err
+		}
+		th, err := experiments.AblationThreshold(trials, seed)
+		if err != nil {
+			return "", err
+		}
+		ref, err := experiments.AblationRefinement(trials, seed)
+		if err != nil {
+			return "", err
+		}
+		sp, err := experiments.AblationSlotPlan(trials, seed)
+		if err != nil {
+			return "", err
+		}
+		return up.Render() + q.Render() + th.Render() + ref.Render() + sp.Render(), nil
+	},
+}
+
+// order lists the experiments in paper order for the run-everything mode.
+var order = []string{
+	"fig1", "fig2", "sec3", "fig4", "fig5", "sec5", "fig6",
+	"table1", "sec6", "sec7", "fig8", "sec8", "campaign", "capture", "ablation",
+}
+
+func main() {
+	trials := flag.Int("trials", 0, "Monte-Carlo trials per experiment (0 = paper-faithful defaults)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: crbench [-trials N] [-seed S] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s (default: all)\n", strings.Join(order, " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	names := flag.Args()
+	if len(names) == 0 {
+		names = order
+	}
+	if err := run(names, *trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "crbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(names []string, trials int, seed uint64) error {
+	for _, name := range names {
+		r, ok := runners[strings.ToLower(name)]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have: %s)", name, strings.Join(order, " "))
+		}
+		out, err := r(trials, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"warpdrive"}, 1, 1)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEveryListedExperimentHasARunner(t *testing.T) {
+	for _, name := range order {
+		if _, ok := runners[name]; !ok {
+			t.Errorf("experiment %q listed but has no runner", name)
+		}
+	}
+	if len(order) != len(runners) {
+		t.Errorf("%d listed vs %d registered", len(order), len(runners))
+	}
+}
+
+func TestRunFastExperiments(t *testing.T) {
+	// The arithmetic-only experiments complete instantly and exercise the
+	// whole dispatch path.
+	if err := run([]string{"sec3", "sec7", "sec8", "fig5"}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Command crsim runs one concurrent-ranging round for a deployment given
+// on the command line and prints the per-responder results.
+//
+// Usage:
+//
+//	crsim -env hallway -init 2,1 -resp 0:5,1 -resp 1:8,1 -resp 2:12,1
+//	crsim -config scenario.json [-rounds N]
+//
+// Each -resp flag is ID:x,y in meters. With -shapes > 1 and -maxrange > 0
+// the combined pulse-shaping × response-position-modulation scheme of the
+// paper's Sect. VIII identifies every responder; otherwise ranging is
+// anonymous (Sect. IV). A JSON scenario file (see ranging.ScenarioFile)
+// replaces the geometry flags entirely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/uwb-sim/concurrent-ranging/ranging"
+)
+
+type responderFlags []responderSpec
+
+type responderSpec struct {
+	id   int
+	x, y float64
+}
+
+func (r *responderFlags) String() string { return fmt.Sprint(*r) }
+
+func (r *responderFlags) Set(v string) error {
+	idPos := strings.SplitN(v, ":", 2)
+	if len(idPos) != 2 {
+		return fmt.Errorf("want ID:x,y, got %q", v)
+	}
+	id, err := strconv.Atoi(idPos[0])
+	if err != nil {
+		return fmt.Errorf("responder ID %q: %w", idPos[0], err)
+	}
+	x, y, err := parsePoint(idPos[1])
+	if err != nil {
+		return err
+	}
+	*r = append(*r, responderSpec{id: id, x: x, y: y})
+	return nil
+}
+
+func parsePoint(v string) (float64, float64, error) {
+	xy := strings.SplitN(v, ",", 2)
+	if len(xy) != 2 {
+		return 0, 0, fmt.Errorf("want x,y, got %q", v)
+	}
+	x, err := strconv.ParseFloat(xy[0], 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.ParseFloat(xy[1], 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var resps responderFlags
+	env := flag.String("env", ranging.EnvHallway, "environment preset (free-space, hallway, office, industrial)")
+	initPos := flag.String("init", "1,1", "initiator position x,y in meters")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	shapes := flag.Int("shapes", 1, "number of pulse shapes N_PS (1 = anonymous)")
+	maxRange := flag.Float64("maxrange", 0, "max communication range in meters (enables RPM slots)")
+	ideal := flag.Bool("ideal", false, "disable the DW1000 8 ns delayed-TX quantization")
+	rounds := flag.Int("rounds", 1, "number of ranging rounds to run")
+	configPath := flag.String("config", "", "JSON scenario file (replaces the geometry flags)")
+	trace := flag.Bool("trace", false, "print the protocol event timeline of each round")
+	flag.Var(&resps, "resp", "responder as ID:x,y (repeatable)")
+	flag.Parse()
+
+	var sc *ranging.Scenario
+	nResp := len(resps)
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc, err = ranging.LoadScenario(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		if len(resps) == 0 {
+			return fmt.Errorf("at least one -resp (or -config) required")
+		}
+		ix, iy, err := parsePoint(*initPos)
+		if err != nil {
+			return fmt.Errorf("initiator position: %w", err)
+		}
+		sc = ranging.NewScenario(ranging.Config{
+			Environment:      *env,
+			Seed:             *seed,
+			NumShapes:        *shapes,
+			MaxRange:         *maxRange,
+			IdealTransceiver: *ideal,
+		})
+		sc.SetInitiator(ix, iy)
+		for _, r := range resps {
+			sc.AddResponder(r.id, r.x, r.y)
+		}
+	}
+	session, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	if *trace {
+		session.SetTracer(func(e ranging.TraceEvent) { fmt.Println("  " + e.String()) })
+	}
+	fmt.Printf("%d responders, scheme capacity %d, Δ_RESP %.0f µs\n",
+		nResp, session.Capacity(), session.ResponseDelay()*1e6)
+	for round := 0; round < *rounds; round++ {
+		res, err := session.Run()
+		if err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		fmt.Printf("round %d: %d messages on air, anchor d_TWR = %.3f m\n",
+			round, res.MessagesOnAir, res.AnchorDistance)
+		fmt.Printf("  %-10s %-6s %-6s %-10s %-10s %-8s\n",
+			"responder", "slot", "shape", "dist [m]", "true [m]", "err [m]")
+		for _, m := range res.Measurements {
+			id := fmt.Sprint(m.ResponderID)
+			if m.ResponderID < 0 {
+				id = "anon"
+			}
+			anchor := ""
+			if m.Anchor {
+				anchor = " (anchor)"
+			}
+			fmt.Printf("  %-10s %-6d %-6d %-10.3f %-10.3f %-+8.3f%s\n",
+				id, m.Slot, m.Shape, m.Distance, m.TrueDistance, m.Error(), anchor)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParsePoint(t *testing.T) {
+	x, y, err := parsePoint("2.5,3.75")
+	if err != nil || x != 2.5 || y != 3.75 {
+		t.Fatalf("got %g,%g err %v", x, y, err)
+	}
+	for _, bad := range []string{"", "1", "a,b", "1;2"} {
+		if _, _, err := parsePoint(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestResponderFlag(t *testing.T) {
+	var r responderFlags
+	if err := r.Set("3:1.5,2.5"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r[0].id != 3 || r[0].x != 1.5 || r[0].y != 2.5 {
+		t.Fatalf("parsed %+v", r)
+	}
+	for _, bad := range []string{"", "1.5,2.5", "x:1,2", "3:nope"} {
+		if err := r.Set(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package concurrentranging is a simulation-backed reproduction of
+// "Concurrent Ranging with Ultra-Wideband Radios: From Experimental
+// Evidence to a Practical Solution" (Großwindhager, Boano, Rath, Römer —
+// ICDCS 2018).
+//
+// The public API lives in the ranging subpackage; the per-figure/table
+// reproduction harness is exposed through the crbench command and the
+// benchmarks in bench_test.go. See README.md for an overview, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package concurrentranging

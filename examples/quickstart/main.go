@@ -1,0 +1,56 @@
+// Quickstart: one concurrent-ranging round in a hallway.
+//
+// An initiator broadcasts a single INIT frame; three responders at 3, 6
+// and 10 m reply simultaneously after Δ_RESP = 290 µs. The initiator
+// derives the distance to the closest responder from the decoded payload
+// (Eq. 2) and the distances to the others from the channel impulse
+// response (Eq. 4) — four messages on air instead of the twelve that
+// scheduled two-way ranging would need.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/uwb-sim/concurrent-ranging/ranging"
+)
+
+func main() {
+	sc := ranging.NewScenario(ranging.Config{
+		Environment: ranging.EnvHallway,
+		Seed:        42,
+		// Three pulse shapes let the initiator tell the responders apart
+		// (Sect. V of the paper); IDs 0..2 map to shapes s1..s3.
+		NumShapes: 3,
+	})
+	sc.SetInitiator(2.0, 0.9)
+	sc.AddResponder(0, 5.0, 0.9)  // 3 m away
+	sc.AddResponder(1, 8.0, 0.9)  // 6 m away
+	sc.AddResponder(2, 12.0, 0.9) // 10 m away
+
+	session, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("one round, %d messages on air (scheduled SS-TWR would need %d)\n",
+		result.MessagesOnAir, 4*3)
+	fmt.Printf("anchor distance via SS-TWR payload: %.2f m\n\n", result.AnchorDistance)
+	for _, m := range result.Measurements {
+		role := ""
+		if m.Anchor {
+			role = "  <- decoded payload (Eq. 2)"
+		}
+		fmt.Printf("responder %d: %6.2f m (truth %5.2f m, error %+.3f m)%s\n",
+			m.ResponderID, m.Distance, m.TrueDistance, m.Error(), role)
+	}
+	fmt.Println("\nnote: CIR-derived errors up to ±1.2 m stem from the DW1000's 8 ns")
+	fmt.Println("delayed-TX truncation (paper Sect. III); set Config.IdealTransceiver")
+	fmt.Println("to model the next-generation radio and recover ~2 cm accuracy")
+}

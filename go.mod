@@ -1,0 +1,3 @@
+module github.com/uwb-sim/concurrent-ranging
+
+go 1.22

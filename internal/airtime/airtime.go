@@ -1,0 +1,299 @@
+// Package airtime computes IEEE 802.15.4 UWB PHY frame durations and radio
+// energy costs for the DW1000. Sect. III of the paper derives the minimum
+// concurrent-ranging response delay Δ_RESP from these durations: at a data
+// rate of 6.8 Mbps, PRF 64 MHz and a preamble symbol repetition of 128, the
+// PHR and payload of the INIT frame plus the preamble and SFD of the RESP
+// frame last 178.5 µs; adding the receive→transmit turnaround and a safety
+// gap yields the 290 µs the paper uses.
+//
+// All durations are float64 seconds: the underlying chip period is
+// ~2.0032 ns and several quantities (preamble symbols, timestamps) need
+// sub-nanosecond precision that time.Duration cannot represent.
+package airtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChipFrequency is the fundamental UWB chipping rate, Hz.
+const ChipFrequency = 499.2e6
+
+// ChipDuration is one chip period in seconds (~2.0032 ns).
+const ChipDuration = 1 / ChipFrequency
+
+// DataRate enumerates the IEEE 802.15.4 UWB payload bit rates.
+type DataRate int
+
+// Supported data rates.
+const (
+	Rate110K DataRate = iota + 1
+	Rate850K
+	Rate6M8
+)
+
+// String returns the conventional name of the rate.
+func (r DataRate) String() string {
+	switch r {
+	case Rate110K:
+		return "110kbps"
+	case Rate850K:
+		return "850kbps"
+	case Rate6M8:
+		return "6.8Mbps"
+	default:
+		return fmt.Sprintf("DataRate(%d)", int(r))
+	}
+}
+
+// symbolChips returns the data symbol length in chips.
+func (r DataRate) symbolChips() (int, error) {
+	switch r {
+	case Rate110K:
+		return 4096, nil
+	case Rate850K:
+		return 512, nil
+	case Rate6M8:
+		return 64, nil
+	default:
+		return 0, fmt.Errorf("airtime: unknown data rate %d", int(r))
+	}
+}
+
+// SymbolDuration returns the payload symbol duration in seconds
+// (8205.13 ns / 1025.64 ns / 128.21 ns for the three rates).
+func (r DataRate) SymbolDuration() (float64, error) {
+	chips, err := r.symbolChips()
+	if err != nil {
+		return 0, err
+	}
+	return float64(chips) * ChipDuration, nil
+}
+
+// PRF is the mean pulse repetition frequency in MHz.
+type PRF int
+
+// Supported pulse repetition frequencies.
+const (
+	PRF16 PRF = 16
+	PRF64 PRF = 64
+)
+
+// PreambleSymbolDuration returns the duration of one preamble symbol in
+// seconds: 993.59 ns at PRF 16 (length-31 code, spreading 16) and
+// 1017.63 ns at PRF 64 (length-127 code, spreading 4).
+func (p PRF) PreambleSymbolDuration() (float64, error) {
+	switch p {
+	case PRF16:
+		return 496 * ChipDuration, nil
+	case PRF64:
+		return 508 * ChipDuration, nil
+	default:
+		return 0, fmt.Errorf("airtime: unknown PRF %d", int(p))
+	}
+}
+
+// phrBits is the physical-layer header length in bits (SECDED included).
+const phrBits = 21
+
+// rsBlockBits and rsParityBits describe the Reed-Solomon outer code: 48
+// parity bits are appended per (up to) 330-bit payload block.
+const (
+	rsBlockBits  = 330
+	rsParityBits = 48
+)
+
+// validPreambleSymbols are the preamble symbol repetitions the DW1000
+// supports.
+var validPreambleSymbols = map[int]bool{
+	64: true, 128: true, 256: true, 512: true,
+	1024: true, 1536: true, 2048: true, 4096: true,
+}
+
+// Config is a UWB PHY configuration.
+type Config struct {
+	// Rate is the payload data rate.
+	Rate DataRate
+	// PRF is the mean pulse repetition frequency.
+	PRF PRF
+	// PreambleSymbols is the preamble symbol repetition (PSR).
+	PreambleSymbols int
+}
+
+// PaperConfig is the configuration the paper uses throughout: 6.8 Mbps,
+// PRF 64 MHz, PSR 128.
+func PaperConfig() Config {
+	return Config{Rate: Rate6M8, PRF: PRF64, PreambleSymbols: 128}
+}
+
+// Validate checks the configuration against the values the DW1000 accepts.
+func (c Config) Validate() error {
+	if _, err := c.Rate.SymbolDuration(); err != nil {
+		return err
+	}
+	if _, err := c.PRF.PreambleSymbolDuration(); err != nil {
+		return err
+	}
+	if !validPreambleSymbols[c.PreambleSymbols] {
+		return fmt.Errorf("airtime: unsupported preamble length %d", c.PreambleSymbols)
+	}
+	return nil
+}
+
+// sfdSymbols returns the start-of-frame-delimiter length in preamble
+// symbols: 64 at 110 kbps, 8 otherwise.
+func (c Config) sfdSymbols() int {
+	if c.Rate == Rate110K {
+		return 64
+	}
+	return 8
+}
+
+// phrRate returns the rate the PHR is transmitted at: the PHR uses
+// 850 kbps whenever the payload rate is 850 kbps or 6.8 Mbps.
+func (c Config) phrRate() DataRate {
+	if c.Rate == Rate110K {
+		return Rate110K
+	}
+	return Rate850K
+}
+
+// PreambleDuration returns the duration of the repeated preamble sequence.
+func (c Config) PreambleDuration() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	sym, err := c.PRF.PreambleSymbolDuration()
+	if err != nil {
+		return 0, err
+	}
+	return float64(c.PreambleSymbols) * sym, nil
+}
+
+// SFDDuration returns the start-of-frame-delimiter duration.
+func (c Config) SFDDuration() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	sym, err := c.PRF.PreambleSymbolDuration()
+	if err != nil {
+		return 0, err
+	}
+	return float64(c.sfdSymbols()) * sym, nil
+}
+
+// SHRDuration returns the synchronization header duration
+// (preamble + SFD) — the part of the frame the CIR is estimated from.
+func (c Config) SHRDuration() (float64, error) {
+	p, err := c.PreambleDuration()
+	if err != nil {
+		return 0, err
+	}
+	s, err := c.SFDDuration()
+	if err != nil {
+		return 0, err
+	}
+	return p + s, nil
+}
+
+// PHRDuration returns the physical-layer header duration.
+func (c Config) PHRDuration() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	sym, err := c.phrRate().SymbolDuration()
+	if err != nil {
+		return 0, err
+	}
+	return phrBits * sym, nil
+}
+
+// PayloadDuration returns the duration of an n-byte MAC frame payload
+// including Reed-Solomon parity.
+func (c Config) PayloadDuration(nBytes int) (float64, error) {
+	if nBytes < 0 {
+		return 0, fmt.Errorf("airtime: negative payload size %d", nBytes)
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	sym, err := c.Rate.SymbolDuration()
+	if err != nil {
+		return 0, err
+	}
+	bits := 8 * nBytes
+	blocks := (bits + rsBlockBits - 1) / rsBlockBits
+	total := bits + rsParityBits*blocks
+	return float64(total) * sym, nil
+}
+
+// FrameDuration returns the full on-air duration of an n-byte frame:
+// preamble + SFD + PHR + payload.
+func (c Config) FrameDuration(nBytes int) (float64, error) {
+	shr, err := c.SHRDuration()
+	if err != nil {
+		return 0, err
+	}
+	phr, err := c.PHRDuration()
+	if err != nil {
+		return 0, err
+	}
+	pay, err := c.PayloadDuration(nBytes)
+	if err != nil {
+		return 0, err
+	}
+	return shr + phr + pay, nil
+}
+
+// MinResponseDelay returns the minimum Δ_RESP of the concurrent-ranging
+// scheme (Sect. III): the IEEE 802.15.4 frame timestamp points at the start
+// of the PHR (the RMARKER), so the smallest possible gap between the INIT
+// and RESP RMARKERs is the PHR+payload remainder of INIT plus the
+// preamble+SFD of RESP.
+func MinResponseDelay(c Config, initPayloadBytes int) (float64, error) {
+	phr, err := c.PHRDuration()
+	if err != nil {
+		return 0, err
+	}
+	pay, err := c.PayloadDuration(initPayloadBytes)
+	if err != nil {
+		return 0, err
+	}
+	shr, err := c.SHRDuration()
+	if err != nil {
+		return 0, err
+	}
+	return phr + pay + shr, nil
+}
+
+// DefaultTurnaround is the experimentally evaluated upper bound on the
+// DW1000 receive→transmit switching time (Sect. III), seconds.
+const DefaultTurnaround = 100e-6
+
+// DefaultResponseDelay is the Δ_RESP the paper settles on: the 178.5 µs
+// minimum plus the turnaround and a safety gap, seconds.
+const DefaultResponseDelay = 290e-6
+
+// InitPayloadBytes is the broadcast INIT frame payload size that yields
+// the paper's 178.5 µs minimum delay at the paper configuration.
+const InitPayloadBytes = 12
+
+// RespPayloadBytes is the RESP frame payload size: a minimal MAC frame
+// carrying the two 40-bit timestamps t_rx,i and t_tx,i.
+const RespPayloadBytes = 22
+
+// ResponseDelay returns a Δ_RESP with the given turnaround allowance plus
+// a safety gap of at least 10 µs, rounded up to the next 10 µs — mirroring
+// the paper's 178.5 µs + <100 µs turnaround → 290 µs choice.
+func ResponseDelay(c Config, initPayloadBytes int, turnaround float64) (float64, error) {
+	if turnaround < 0 {
+		return 0, fmt.Errorf("airtime: negative turnaround %g", turnaround)
+	}
+	minD, err := MinResponseDelay(c, initPayloadBytes)
+	if err != nil {
+		return 0, err
+	}
+	const grid = 10e-6
+	raw := minD + turnaround + grid
+	return math.Ceil(raw/grid) * grid, nil
+}

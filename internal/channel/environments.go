@@ -1,0 +1,110 @@
+package channel
+
+import (
+	"fmt"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/geom"
+)
+
+// Preset environments matching the deployment areas of the paper's
+// measurement campaigns. The numeric parameters are calibrated so that the
+// simulated radio reproduces the paper's headline statistics (SS-TWR σ of
+// ~2.3 cm, Table I identification rates, Sect. VI overlap resolution); the
+// calibration is documented in EXPERIMENTS.md.
+
+// FreeSpace is an unobstructed link with no reflections and no diffuse
+// tail — the cleanest possible channel, useful for unit tests and for the
+// cable-measurement emulation.
+func FreeSpace() *Environment {
+	return &Environment{
+		Name:             "free-space",
+		PathLoss:         FreeSpacePathLoss(Channel7CenterFrequency),
+		CarrierFrequency: Channel7CenterFrequency,
+	}
+}
+
+// Hallway is the long corridor of the paper's Fig. 4 experiment: strong
+// LOS, smooth side walls with noticeable reflectivity, light diffuse tail.
+// The corridor is 30 m long and 2.4 m wide.
+func Hallway() *Environment {
+	plan, err := geom.Rectangle(30, 2.4, 0.22)
+	if err != nil {
+		panic(fmt.Sprintf("channel: hallway preset: %v", err)) // static geometry, cannot fail
+	}
+	return &Environment{
+		Name:               "hallway",
+		Plan:               plan,
+		MaxReflectionOrder: 1,
+		PathLoss:           PathLoss{Exponent: 1.9, RefLossDB: FreeSpacePathLoss(Channel7CenterFrequency).RefLossDB},
+		Diffuse: Diffuse{
+			PowerRatio:     0.05,
+			Decay:          12e-9,
+			ArrivalRate:    0.4e9,
+			MaxExcessDelay: 120e-9,
+		},
+		CarrierFrequency: Channel7CenterFrequency,
+	}
+}
+
+// Office is the furnished office room of the paper's Fig. 2 and Fig. 6
+// experiments: an 10 m × 8 m room with moderately reflective walls and a
+// pronounced diffuse tail from furniture scattering.
+func Office() *Environment {
+	plan, err := geom.Rectangle(10, 8, 0.35)
+	if err != nil {
+		panic(fmt.Sprintf("channel: office preset: %v", err))
+	}
+	return &Environment{
+		Name:               "office",
+		Plan:               plan,
+		MaxReflectionOrder: 2,
+		PathLoss:           PathLoss{Exponent: 2.0, RefLossDB: FreeSpacePathLoss(Channel7CenterFrequency).RefLossDB},
+		Diffuse: Diffuse{
+			PowerRatio:     0.35,
+			Decay:          18e-9,
+			ArrivalRate:    0.6e9,
+			MaxExcessDelay: 180e-9,
+		},
+		CarrierFrequency: Channel7CenterFrequency,
+	}
+}
+
+// Industrial is a large hall with metallic surfaces: high reflectivity,
+// long and heavy diffuse tail — the hardest preset for response detection.
+func Industrial() *Environment {
+	plan, err := geom.Rectangle(40, 25, 0.7)
+	if err != nil {
+		panic(fmt.Sprintf("channel: industrial preset: %v", err))
+	}
+	return &Environment{
+		Name:               "industrial",
+		Plan:               plan,
+		MaxReflectionOrder: 2,
+		PathLoss:           PathLoss{Exponent: 2.1, RefLossDB: FreeSpacePathLoss(Channel7CenterFrequency).RefLossDB},
+		Diffuse: Diffuse{
+			PowerRatio:     0.8,
+			Decay:          40e-9,
+			ArrivalRate:    0.8e9,
+			MaxExcessDelay: 350e-9,
+		},
+		CarrierFrequency: Channel7CenterFrequency,
+	}
+}
+
+// Presets returns all named environments, keyed by name.
+func Presets() map[string]*Environment {
+	envs := []*Environment{FreeSpace(), Hallway(), Office(), Industrial()}
+	out := make(map[string]*Environment, len(envs))
+	for _, e := range envs {
+		out[e.Name] = e
+	}
+	return out
+}
+
+// PresetByName looks up a preset environment by its name.
+func PresetByName(name string) (*Environment, error) {
+	if e, ok := Presets()[name]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("channel: unknown environment %q", name)
+}

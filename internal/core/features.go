@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ChannelFeatures summarizes the shape of one response's neighborhood in
+// the CIR — the quantities the UWB literature uses to tell line-of-sight
+// from non-line-of-sight conditions on a single link. The paper defers
+// NLOS handling to future work (Sect. IX).
+//
+// Caveat discovered while building this library: on a *concurrent* CIR
+// the same signature (a weak early arrival followed by a stronger one) is
+// routinely produced by other responders' multipath and diffuse tails, so
+// per-responder NLOS flagging from one aggregated CIR is unreliable —
+// applications should instead use redundancy (LocateRobust) or per-link
+// probing. These features remain dependable for isolated receptions.
+type ChannelFeatures struct {
+	// FirstPathIndex is the window-relative index of the first tap above
+	// the detection threshold.
+	FirstPathIndex int
+	// StrongestIndex is the window-relative index of the strongest tap.
+	StrongestIndex int
+	// FirstToStrongestRatio is |first path| / |strongest path| (1 when
+	// the direct path dominates; small under attenuated LOS).
+	FirstToStrongestRatio float64
+	// FirstToStrongestDelay is the time from the first path to the
+	// strongest path in seconds (≈0 under LOS).
+	FirstToStrongestDelay float64
+	// RMSDelaySpread is the energy-weighted RMS spread of the window in
+	// seconds (large in reflection-dominated channels).
+	RMSDelaySpread float64
+	// RiseTime is the 10%→90% leading-edge rise time of the strongest
+	// path in seconds.
+	RiseTime float64
+}
+
+// ExtractChannelFeatures computes the features over taps[start:end]
+// (clamped), using threshold = factor·noiseRMS for the first-path search.
+func ExtractChannelFeatures(taps []complex128, ts, noiseRMS float64, start, end int) (ChannelFeatures, error) {
+	if ts <= 0 {
+		return ChannelFeatures{}, fmt.Errorf("core: sample interval %g must be positive", ts)
+	}
+	if noiseRMS <= 0 {
+		return ChannelFeatures{}, fmt.Errorf("core: noise RMS %g must be positive", noiseRMS)
+	}
+	start = max(start, 0)
+	end = min(end, len(taps))
+	if end-start < 4 {
+		return ChannelFeatures{}, fmt.Errorf("core: feature window [%d, %d) too short", start, end)
+	}
+	window := taps[start:end]
+	mag := make([]float64, len(window))
+	var strongest float64
+	strongestIdx := 0
+	for i, t := range window {
+		mag[i] = cmplx.Abs(t)
+		if mag[i] > strongest {
+			strongest, strongestIdx = mag[i], i
+		}
+	}
+	if strongest <= 0 {
+		return ChannelFeatures{}, fmt.Errorf("core: empty feature window")
+	}
+	threshold := DefaultThresholdFactor * noiseRMS
+	firstIdx := -1
+	for i, v := range mag {
+		if v >= threshold {
+			firstIdx = i
+			break
+		}
+	}
+	if firstIdx < 0 {
+		return ChannelFeatures{}, fmt.Errorf("core: no path above the noise threshold in the window")
+	}
+	// The crossing lands on the leading flank of the first pulse; walk up
+	// to its local peak so the features describe the first *path*, not a
+	// rising-edge sample.
+	for firstIdx+1 < len(mag) && mag[firstIdx+1] > mag[firstIdx] {
+		firstIdx++
+	}
+	f := ChannelFeatures{
+		FirstPathIndex:        firstIdx,
+		StrongestIndex:        strongestIdx,
+		FirstToStrongestRatio: mag[firstIdx] / strongest,
+		FirstToStrongestDelay: float64(strongestIdx-firstIdx) * ts,
+	}
+	// Energy-weighted RMS delay spread over the window.
+	var power, mean float64
+	for i, v := range mag {
+		p := v * v
+		power += p
+		mean += p * float64(i)
+	}
+	mean /= power
+	var spread float64
+	for i, v := range mag {
+		d := float64(i) - mean
+		spread += v * v * d * d
+	}
+	f.RMSDelaySpread = math.Sqrt(spread/power) * ts
+	// 10%→90% rise time of the strongest path's leading edge.
+	lo, hi := -1, -1
+	for i := strongestIdx; i >= 0; i-- {
+		if hi < 0 && mag[i] <= 0.9*strongest {
+			hi = i
+		}
+		if mag[i] <= 0.1*strongest {
+			lo = i
+			break
+		}
+	}
+	if lo >= 0 && hi >= lo {
+		f.RiseTime = float64(hi-lo+1) * ts
+	}
+	return f, nil
+}
+
+// NLOS decision thresholds, calibrated on the simulated environments: an
+// unobstructed direct path is both the first and (nearly) the strongest
+// arrival in its window, while an obstructed one is clearly out-powered
+// by a later reflection.
+const (
+	// nlosRatioThreshold flags windows whose first path is well below the
+	// strongest (attenuated direct path).
+	nlosRatioThreshold = 0.55
+	// nlosDelayThreshold requires the stronger arrival to trail by more
+	// than a couple of accumulator samples, so constructive multipath
+	// riding directly on the LOS pulse does not trigger the flag.
+	nlosDelayThreshold = 2e-9
+)
+
+// LikelyNLOS reports whether the features indicate an obstructed direct
+// path: the first arrival is much weaker than a clearly later one.
+func (f ChannelFeatures) LikelyNLOS() bool {
+	return f.FirstToStrongestRatio < nlosRatioThreshold &&
+		f.FirstToStrongestDelay > nlosDelayThreshold
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
+)
+
+func TestExtractChannelFeaturesLOS(t *testing.T) {
+	const noise = 1e-5
+	s1 := shapeFor(t, pulse.RegisterS1)
+	taps := makeCIR(t, []pulseAt{
+		{s1, 50 * ts, 1e-3},             // dominant direct path
+		{s1, 55 * ts, 0.2e-3},           // weak reflection
+		{s1, 62 * ts, complex(0, 1e-4)}, // weaker, later reflection
+	}, noise, 101)
+	f, err := ExtractChannelFeatures(taps, ts, noise, 40, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LikelyNLOS() {
+		t.Fatalf("clear LOS classified as NLOS: %+v", f)
+	}
+	if f.FirstToStrongestRatio < 0.6 {
+		t.Fatalf("LOS ratio %g", f.FirstToStrongestRatio)
+	}
+	if f.FirstToStrongestDelay > 3e-9 {
+		t.Fatalf("LOS first-to-strongest delay %g", f.FirstToStrongestDelay)
+	}
+	if f.RiseTime <= 0 || f.RMSDelaySpread <= 0 {
+		t.Fatalf("degenerate features %+v", f)
+	}
+}
+
+func TestExtractChannelFeaturesNLOS(t *testing.T) {
+	const noise = 1e-5
+	s1 := shapeFor(t, pulse.RegisterS1)
+	// Attenuated direct path followed by a much stronger reflection 12 ns
+	// later — the blocked-LOS situation of Sect. VII.
+	taps := makeCIR(t, []pulseAt{
+		{s1, 50 * ts, 1.5e-4},
+		{s1, 62 * ts, 9e-4},
+		{s1, 68 * ts, 4e-4},
+	}, noise, 102)
+	f, err := ExtractChannelFeatures(taps, ts, noise, 40, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.LikelyNLOS() {
+		t.Fatalf("obstructed channel not flagged: %+v", f)
+	}
+	if f.FirstToStrongestRatio > 0.4 {
+		t.Fatalf("NLOS ratio %g", f.FirstToStrongestRatio)
+	}
+	if f.FirstToStrongestDelay < 10e-9 {
+		t.Fatalf("NLOS delay %g", f.FirstToStrongestDelay)
+	}
+}
+
+func TestExtractChannelFeaturesValidation(t *testing.T) {
+	taps := make([]complex128, 64)
+	if _, err := ExtractChannelFeatures(taps, 0, 1e-5, 0, 64); err == nil {
+		t.Error("zero ts accepted")
+	}
+	if _, err := ExtractChannelFeatures(taps, ts, 0, 0, 64); err == nil {
+		t.Error("zero noise accepted")
+	}
+	if _, err := ExtractChannelFeatures(taps, ts, 1e-5, 10, 12); err == nil {
+		t.Error("tiny window accepted")
+	}
+	if _, err := ExtractChannelFeatures(taps, ts, 1e-5, 0, 64); err == nil {
+		t.Error("all-zero window accepted")
+	}
+	// Window with signal below threshold.
+	taps[20] = 1e-6
+	if _, err := ExtractChannelFeatures(taps, ts, 1e-5, 0, 64); err == nil {
+		t.Error("sub-threshold window accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
+)
+
+// FuzzDetect feeds arbitrary CIRs through the search-and-subtract
+// detector: it must never panic, always terminate, and always return
+// delay-sorted responses with finite fields.
+func FuzzDetect(f *testing.F) {
+	f.Add(make([]byte, 1016*4))
+	f.Add([]byte{0xff, 0x10, 0x22})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		if n == 0 {
+			t.Skip()
+		}
+		if n > 1016 {
+			n = 1016
+		}
+		taps := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+			if math.IsNaN(re) || math.IsInf(re, 0) {
+				t.Skip()
+			}
+			re = math.Max(-1e3, math.Min(1e3, re))
+			taps[i] = complex(re, 0)
+		}
+		bank, err := pulse.DefaultBank(1.0016e-9, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := NewDetector(bank, DetectorConfig{MaxIterations: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		responses, err := det.Detect(taps, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range responses {
+			if math.IsNaN(r.Delay) || math.IsInf(r.Delay, 0) {
+				t.Fatalf("non-finite delay %v", r.Delay)
+			}
+			if i > 0 && responses[i].Delay < responses[i-1].Delay {
+				t.Fatal("responses not sorted")
+			}
+			if r.TemplateIndex < 0 || r.TemplateIndex >= bank.Len() {
+				t.Fatalf("template index %d out of range", r.TemplateIndex)
+			}
+		}
+	})
+}
+
+// FuzzSlotPlan checks Assign/IDFor/SlotOf consistency on arbitrary plans.
+func FuzzSlotPlan(f *testing.F) {
+	f.Add(uint8(4), uint8(3), uint16(7))
+	f.Fuzz(func(t *testing.T, slots, shapes uint8, id uint16) {
+		plan := SlotPlan{
+			NumSlots:  int(slots%32) + 1,
+			NumShapes: int(shapes%16) + 1,
+		}
+		plan.SlotWidth = MaxSlotDelay / float64(plan.NumSlots)
+		if err := plan.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		rid := int(id) % plan.Capacity()
+		slot, shape, err := plan.Assign(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := plan.IDFor(slot, shape)
+		if err != nil || back != rid {
+			t.Fatalf("round trip %d -> (%d,%d) -> %d (%v)", rid, slot, shape, back, err)
+		}
+		if got := plan.SlotOf(plan.ExtraDelay(slot)); got != slot {
+			t.Fatalf("SlotOf(nominal position of %d) = %d", slot, got)
+		}
+	})
+}

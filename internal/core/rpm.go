@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/channel"
+	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
+)
+
+// MaxSlotDelay is δ_max, the widest response-position offset that still
+// lands inside the CIR window (Sect. VII): ~1017 ns ≈ 307 m.
+const MaxSlotDelay = dw1000.WindowDuration
+
+// SlotPlan is the combined response-position-modulation × pulse-shaping
+// scheme of Sect. VIII: the CIR window is divided into NumSlots slots of
+// SlotWidth seconds, and within a slot up to NumShapes responders are told
+// apart by their pulse shape. A responder's ID determines both:
+//
+//	slot  = ID % NumSlots
+//	shape = ID / NumSlots
+//
+// (The paper prints the shape index as ⌊ID/N_PS⌋; dividing by N_PS leaves
+// shape indexes out of range whenever N_PS ≠ N_RPM, so this implementation
+// divides by the slot count, which is the unique decomposition the
+// figure's example realizes.)
+type SlotPlan struct {
+	// NumSlots is N_RPM, the number of response-position slots.
+	NumSlots int
+	// NumShapes is N_PS, the number of pulse shapes per slot.
+	NumShapes int
+	// SlotWidth is δ, the extra response delay separating adjacent slots,
+	// seconds.
+	SlotWidth float64
+}
+
+// NewSlotPlan builds the paper's plan for a maximum communication range
+// maxRange (meters) and numShapes pulse shapes: N_RPM = ⌊δ_max·c / r_max⌋
+// slots separated by δ = δ_max / N_RPM (Sect. VIII).
+//
+// Note the coverage caveat the paper inherits: a response appears in the
+// CIR delayed by *twice* the distance difference to the anchor (Eq. 4), so
+// slot boundaries are guaranteed collision-free only when nodes stay
+// within half the nominal range of each other. Use NewSafeSlotPlan for a
+// plan with that factor built in.
+func NewSlotPlan(maxRange float64, numShapes int) (SlotPlan, error) {
+	return newSlotPlan(maxRange, numShapes, 1)
+}
+
+// NewSafeSlotPlan sizes slots for the full round-trip spread 2·r_max/c, so
+// responses from nodes anywhere within maxRange of the anchor can never
+// leak into the next slot.
+func NewSafeSlotPlan(maxRange float64, numShapes int) (SlotPlan, error) {
+	return newSlotPlan(maxRange, numShapes, 2)
+}
+
+func newSlotPlan(maxRange float64, numShapes, spreadFactor int) (SlotPlan, error) {
+	if maxRange <= 0 {
+		return SlotPlan{}, fmt.Errorf("core: max range %g must be positive", maxRange)
+	}
+	if numShapes < 1 {
+		return SlotPlan{}, fmt.Errorf("core: need at least one pulse shape, got %d", numShapes)
+	}
+	span := MaxSlotDelay * channel.SpeedOfLight // ≈ 307 m
+	slots := int(span / (maxRange * float64(spreadFactor)))
+	if slots < 1 {
+		return SlotPlan{}, fmt.Errorf("core: max range %g m exceeds the %g m CIR span", maxRange, span)
+	}
+	return SlotPlan{
+		NumSlots:  slots,
+		NumShapes: numShapes,
+		SlotWidth: MaxSlotDelay / float64(slots),
+	}, nil
+}
+
+// SingleSlot returns the degenerate plan of the plain concurrent-ranging
+// scheme (no response position modulation): one slot covering the whole
+// CIR, responders told apart by pulse shape alone.
+func SingleSlot(numShapes int) SlotPlan {
+	return SlotPlan{NumSlots: 1, NumShapes: numShapes, SlotWidth: MaxSlotDelay}
+}
+
+// Capacity is N_max = N_RPM · N_PS, the number of concurrently supported
+// responders (Sect. VIII).
+func (p SlotPlan) Capacity() int { return p.NumSlots * p.NumShapes }
+
+// Validate checks the plan's parameters.
+func (p SlotPlan) Validate() error {
+	if p.NumSlots < 1 || p.NumShapes < 1 {
+		return fmt.Errorf("core: slot plan %dx%d must have positive dimensions", p.NumSlots, p.NumShapes)
+	}
+	if p.SlotWidth <= 0 {
+		return fmt.Errorf("core: slot width %g must be positive", p.SlotWidth)
+	}
+	if float64(p.NumSlots)*p.SlotWidth > MaxSlotDelay*(1+1e-9) {
+		return fmt.Errorf("core: %d slots of %g s exceed the CIR window", p.NumSlots, p.SlotWidth)
+	}
+	return nil
+}
+
+// Assign maps a responder ID to its slot and pulse-shape index.
+func (p SlotPlan) Assign(id int) (slot, shape int, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if id < 0 || id >= p.Capacity() {
+		return 0, 0, fmt.Errorf("core: responder ID %d outside capacity %d", id, p.Capacity())
+	}
+	return id % p.NumSlots, id / p.NumSlots, nil
+}
+
+// IDFor is the inverse of Assign.
+func (p SlotPlan) IDFor(slot, shape int) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if slot < 0 || slot >= p.NumSlots {
+		return 0, fmt.Errorf("core: slot %d outside [0, %d)", slot, p.NumSlots)
+	}
+	if shape < 0 || shape >= p.NumShapes {
+		return 0, fmt.Errorf("core: shape %d outside [0, %d)", shape, p.NumShapes)
+	}
+	return shape*p.NumSlots + slot, nil
+}
+
+// ExtraDelay is δ_i, the additional response delay of the given slot:
+// Δ'_RESP = Δ_RESP + slot·δ (Sect. VII).
+func (p SlotPlan) ExtraDelay(slot int) float64 {
+	return float64(slot) * p.SlotWidth
+}
+
+// SlotOf classifies a response's CIR position (seconds relative to the
+// anchor response, with the anchor's own slot offset added back) into a
+// slot index, clamped to the valid range.
+//
+// Classification rounds to the nearest slot boundary rather than
+// truncating: a responder in slot k that is *closer* to the initiator
+// than the anchor arrives slightly before k·δ (its intra-slot offset
+// 2·(d−d_anchor)/c is negative), so the decision regions must be centered
+// on the nominal slot positions. Classification is correct while
+// |d − d_anchor| < c·δ/4.
+func (p SlotPlan) SlotOf(relativeDelay float64) int {
+	if p.NumSlots <= 1 {
+		return 0
+	}
+	slot := int(math.Round(relativeDelay / p.SlotWidth))
+	if slot < 0 {
+		return 0
+	}
+	if slot >= p.NumSlots {
+		return p.NumSlots - 1
+	}
+	return slot
+}

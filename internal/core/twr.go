@@ -1,0 +1,53 @@
+package core
+
+import (
+	"github.com/uwb-sim/concurrent-ranging/internal/channel"
+	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
+)
+
+// TWRSpans computes the single-sided two-way ranging distance of Eq. 2
+// from the two locally measured time spans:
+//
+//	d_TWR = ((t_rx,init − t_tx,init) − (t_tx,1 − t_rx,1)) / 2 · c
+//
+// where roundTrip is the initiator's t_rx,init − t_tx,init and turnaround
+// is the responder's t_tx,1 − t_rx,1, both in seconds of their own clocks.
+func TWRSpans(roundTrip, turnaround float64) float64 {
+	return (roundTrip - turnaround) / 2 * channel.SpeedOfLight
+}
+
+// TWRTimestamps computes Eq. 2 from the four raw device timestamps as they
+// are exchanged in the RESP payload: the initiator's INIT-TX and RESP-RX
+// stamps (its clock) and the responder's INIT-RX and RESP-TX stamps (its
+// clock). Wrap-aware 40-bit arithmetic is used on both spans.
+func TWRTimestamps(txInit, rxResp, rxInit, txResp dw1000.DeviceTime) float64 {
+	return TWRSpans(rxResp.Sub(txInit), txResp.Sub(rxInit))
+}
+
+// ConcurrentDistance computes Eq. 4: the distance to responder i from the
+// anchor distance d_TWR (responder 1, decoded via SS-TWR) and the CIR path
+// delays of the two responses. The delay difference appears twice in the
+// round trip (both the INIT and the RESP legs are longer), hence the
+// halving.
+func ConcurrentDistance(dTWR, tauI, tau1 float64) float64 {
+	return dTWR + channel.SpeedOfLight*(tauI-tau1)/2
+}
+
+// TWRSpansDriftCompensated applies the standard crystal-offset correction
+// before Eq. 2: the responder's locally measured turnaround is rescaled
+// into initiator clock units using the estimated clock-rate ratio
+// (responder rate / initiator rate), which UWB receivers derive from the
+// carrier frequency offset. This removes the classic SS-TWR bias of
+// c·Δ_RESP·e/2 for a relative frequency error e.
+func TWRSpansDriftCompensated(roundTrip, turnaround, clockRatio float64) float64 {
+	if clockRatio <= 0 {
+		clockRatio = 1
+	}
+	return TWRSpans(roundTrip, turnaround/clockRatio)
+}
+
+// TWRTimestampsDriftCompensated is TWRTimestamps with the clock-ratio
+// correction applied to the responder's turnaround span.
+func TWRTimestampsDriftCompensated(txInit, rxResp, rxInit, txResp dw1000.DeviceTime, clockRatio float64) float64 {
+	return TWRSpansDriftCompensated(rxResp.Sub(txInit), txResp.Sub(rxInit), clockRatio)
+}

@@ -1,0 +1,185 @@
+package dsp
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvolveKnownValues(t *testing.T) {
+	a := []complex128{1, 2, 3}
+	b := []complex128{4, 5}
+	got := Convolve(a, b)
+	want := []complex128{4, 13, 22, 15}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !complexClose(got[i], want[i], 1e-12) {
+			t.Fatalf("sample %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveEmptyInputs(t *testing.T) {
+	if out := Convolve(nil, []complex128{1}); out != nil {
+		t.Fatalf("expected nil, got %v", out)
+	}
+	if out := Convolve([]complex128{1}, nil); out != nil {
+		t.Fatalf("expected nil, got %v", out)
+	}
+}
+
+func TestConvolveDirectMatchesFFT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, sz := range [][2]int{{5, 9}, {64, 64}, {200, 31}, {300, 300}, {1016, 120}} {
+		a := randSignal(rng, sz[0])
+		b := randSignal(rng, sz[1])
+		direct := convolveDirect(a, b)
+		viaFFT := convolveFFT(a, b)
+		if len(direct) != len(viaFFT) {
+			t.Fatalf("size mismatch: %d vs %d", len(direct), len(viaFFT))
+		}
+		scale := MaxAbs(direct) + 1
+		for i := range direct {
+			if !complexClose(direct[i], viaFFT[i], 1e-9*scale*float64(len(direct))) {
+				t.Fatalf("%v: sample %d: direct %v fft %v", sz, i, direct[i], viaFFT[i])
+			}
+		}
+	}
+}
+
+func TestConvolveCommutativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		a := randSignal(r, 1+r.IntN(80))
+		b := randSignal(r, 1+r.IntN(80))
+		ab := Convolve(a, b)
+		ba := Convolve(b, a)
+		for i := range ab {
+			if !complexClose(ab[i], ba[i], 1e-8*(1+MaxAbs(ab))) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: mrand.New(mrand.NewSource(44))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveDeltaIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	v := randSignal(rng, 40)
+	out := Convolve(v, []complex128{1})
+	for i := range v {
+		if !complexClose(out[i], v[i], 1e-12) {
+			t.Fatalf("sample %d: got %v want %v", i, out[i], v[i])
+		}
+	}
+	// A shifted delta shifts the signal.
+	out = Convolve(v, []complex128{0, 0, 1})
+	for i := range v {
+		if !complexClose(out[i+2], v[i], 1e-12) {
+			t.Fatalf("shifted sample %d: got %v want %v", i, out[i+2], v[i])
+		}
+	}
+}
+
+func TestMatchedFilterPeakAlignment(t *testing.T) {
+	// Place a template at a known delay inside a longer signal; the matched
+	// filter output must peak exactly at that delay.
+	tmpl := []complex128{0.2, 0.7, 1, 0.7, 0.2}
+	for _, delay := range []int{0, 3, 17, 90} {
+		r := make([]complex128, 128)
+		for i, s := range tmpl {
+			r[delay+i] = s
+		}
+		y := MatchedFilter(r, tmpl)
+		if len(y) != len(r) {
+			t.Fatalf("output length %d, want %d", len(y), len(r))
+		}
+		idx, _ := MaxAbsIndex(y)
+		if idx != delay {
+			t.Fatalf("delay %d: peak at %d", delay, idx)
+		}
+	}
+}
+
+func TestMatchedFilterPeakValueIsTemplateEnergy(t *testing.T) {
+	tmpl := NormalizeEnergy([]complex128{1, 2, 3, 2, 1})
+	r := make([]complex128, 64)
+	copy(r[10:], tmpl)
+	y := MatchedFilter(r, tmpl)
+	_, v := MaxAbsIndex(y)
+	if !closeTo(v, 1.0, 1e-9) {
+		t.Fatalf("peak value %g, want 1 (unit-energy template)", v)
+	}
+}
+
+func TestMatchedFilterComplexPhase(t *testing.T) {
+	// A pulse with complex amplitude alpha must produce a matched-filter
+	// peak equal to alpha times the template energy.
+	tmpl := NormalizeEnergy(randSignal(rand.New(rand.NewPCG(31, 32)), 9))
+	alpha := complex(0.3, -1.2)
+	r := make([]complex128, 80)
+	for i, s := range tmpl {
+		r[25+i] = alpha * s
+	}
+	y := MatchedFilter(r, tmpl)
+	if !complexClose(y[25], alpha, 1e-9) {
+		t.Fatalf("peak %v, want %v", y[25], alpha)
+	}
+}
+
+func TestCrossCorrelateLagZeroIsInnerProduct(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	a := randSignal(rng, 30)
+	cc := CrossCorrelate(a, a)
+	if !closeTo(real(cc[0]), Energy(a), 1e-9*Energy(a)) {
+		t.Fatalf("lag-0 autocorrelation %v, want energy %g", cc[0], Energy(a))
+	}
+}
+
+func TestNormalizedCorrelation(t *testing.T) {
+	a := []complex128{1, 2, 3}
+	if got := NormalizedCorrelation(a, a); !closeTo(got, 1, 1e-12) {
+		t.Fatalf("self correlation %g, want 1", got)
+	}
+	b := []complex128{0, 0, 0}
+	if got := NormalizedCorrelation(a, b); got != 0 {
+		t.Fatalf("zero-energy correlation %g, want 0", got)
+	}
+	// Orthogonal vectors correlate to zero.
+	c := []complex128{1, 0}
+	d := []complex128{0, 1}
+	if got := NormalizedCorrelation(c, d); !closeTo(got, 0, 1e-12) {
+		t.Fatalf("orthogonal correlation %g, want 0", got)
+	}
+}
+
+func TestNormalizedCorrelationScaleInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 77))
+		n := 2 + r.IntN(50)
+		a := randSignal(r, n)
+		b := randSignal(r, n)
+		base := NormalizedCorrelation(a, b)
+		scaled := NormalizedCorrelation(Scale(Clone(a), complex(3.7, -1)), b)
+		return closeTo(base, scaled, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: mrand.New(mrand.NewSource(45))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func closeTo(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

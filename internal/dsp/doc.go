@@ -1,0 +1,10 @@
+// Package dsp provides the signal-processing primitives used throughout the
+// concurrent-ranging simulator: complex vector arithmetic, fast Fourier
+// transforms (radix-2 and Bluestein for arbitrary lengths), FFT-based
+// up-sampling, convolution and matched filtering, window functions, and the
+// statistics helpers used by the Monte-Carlo experiment harness.
+//
+// All routines operate on plain []complex128 or []float64 slices and never
+// retain references to their arguments unless documented otherwise, so
+// callers are free to reuse buffers.
+package dsp

@@ -1,0 +1,156 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the discrete Fourier transform of v and returns a new slice.
+// Power-of-two lengths use an iterative radix-2 Cooley–Tukey transform;
+// other lengths fall back to Bluestein's algorithm. An empty input returns
+// an empty output.
+func FFT(v []complex128) []complex128 {
+	out := Clone(v)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT computes the inverse discrete Fourier transform of v (including the
+// 1/N normalization) and returns a new slice.
+func IFFT(v []complex128) []complex128 {
+	out := Clone(v)
+	fftInPlace(out, true)
+	return out
+}
+
+func fftInPlace(v []complex128, inverse bool) {
+	n := len(v)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(v, inverse)
+	} else {
+		bluestein(v, inverse)
+	}
+	if inverse {
+		Scale(v, complex(1/float64(n), 0))
+	}
+}
+
+// radix2 runs an in-place iterative Cooley–Tukey FFT. len(v) must be a
+// power of two.
+func radix2(v []complex128, inverse bool) {
+	n := len(v)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := v[start+k]
+				b := v[start+k+half] * w
+				v[start+k] = a + b
+				v[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, using
+// radix-2 FFTs of the next power of two ≥ 2n-1.
+func bluestein(v []complex128, inverse bool) {
+	n := len(v)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors w[k] = exp(sign*i*pi*k^2/n). Compute k^2 mod 2n to keep
+	// the argument small and the cosine/sine accurate for large k.
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		ksq := (int64(k) * int64(k)) % int64(2*n)
+		phi := sign * math.Pi * float64(ksq) / float64(n)
+		w[k] = complex(math.Cos(phi), math.Sin(phi))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = v[k] * w[k]
+		bk := complex(real(w[k]), -imag(w[k])) // conj(w[k])
+		b[k] = bk
+		if k > 0 {
+			b[m-k] = bk
+		}
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		v[k] = a[k] * invM * w[k]
+	}
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// UpsampleFFT increases the sampling rate of v by the integer factor by
+// zero-padding its spectrum, the standard FFT interpolation used in
+// Sect. IV step 1 of the paper to smooth the CIR before matched filtering.
+// The output has len(v)*factor samples and preserves the amplitude of the
+// underlying continuous signal. It returns an error if factor < 1.
+func UpsampleFFT(v []complex128, factor int) ([]complex128, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: upsample factor %d < 1", factor)
+	}
+	if factor == 1 || len(v) == 0 {
+		return Clone(v), nil
+	}
+	n := len(v)
+	spec := FFT(v)
+	out := make([]complex128, n*factor)
+	if n%2 == 0 {
+		half := n / 2
+		copy(out[:half], spec[:half])
+		copy(out[len(out)-(half-1):], spec[half+1:])
+		// Split the Nyquist bin between the two halves so a real input
+		// stays real after interpolation.
+		nyq := spec[half] / 2
+		out[half] = nyq
+		out[len(out)-half] = nyq
+	} else {
+		pos := (n + 1) / 2 // bins 0..(n-1)/2 are non-negative frequencies
+		copy(out[:pos], spec[:pos])
+		copy(out[len(out)-(n-pos):], spec[pos:])
+	}
+	res := IFFT(out)
+	Scale(res, complex(float64(factor), 0))
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package dsp
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// bytesToSignal reinterprets fuzz bytes as a bounded complex signal,
+// rejecting NaN/Inf inputs (the library's documented domain).
+func bytesToSignal(data []byte, maxLen int) []complex128 {
+	n := len(data) / 16
+	if n == 0 || n > maxLen {
+		return nil
+	}
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i+8:]))
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			return nil
+		}
+		// Clamp magnitudes so energy checks stay in float range.
+		re = math.Max(-1e6, math.Min(1e6, re))
+		im = math.Max(-1e6, math.Min(1e6, im))
+		out[i] = complex(re, im)
+	}
+	return out
+}
+
+func FuzzFFTRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 16*8))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v := bytesToSignal(data, 512)
+		if v == nil {
+			t.Skip()
+		}
+		back := IFFT(FFT(v))
+		if len(back) != len(v) {
+			t.Fatalf("length changed: %d -> %d", len(v), len(back))
+		}
+		scale := MaxAbs(v) + 1
+		for i := range v {
+			if d := back[i] - v[i]; math.Hypot(real(d), imag(d)) > 1e-6*scale*float64(len(v)) {
+				t.Fatalf("round trip diverged at %d: %v vs %v", i, back[i], v[i])
+			}
+		}
+	})
+}
+
+func FuzzUpsampleFFT(f *testing.F) {
+	f.Add(make([]byte, 16*4), 4)
+	f.Fuzz(func(t *testing.T, data []byte, factor int) {
+		v := bytesToSignal(data, 256)
+		if v == nil {
+			t.Skip()
+		}
+		up, err := UpsampleFFT(v, factor)
+		if factor < 1 {
+			if err == nil {
+				t.Fatal("invalid factor accepted")
+			}
+			return
+		}
+		if factor > 16 {
+			t.Skip()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(up) != len(v)*factor {
+			t.Fatalf("length %d, want %d", len(up), len(v)*factor)
+		}
+	})
+}
+
+func FuzzConvolve(f *testing.F) {
+	f.Add(make([]byte, 32), make([]byte, 48))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		va := bytesToSignal(a, 128)
+		vb := bytesToSignal(b, 128)
+		out := Convolve(va, vb)
+		if len(va) == 0 || len(vb) == 0 {
+			if out != nil {
+				t.Fatal("empty convolution must be nil")
+			}
+			return
+		}
+		if len(out) != len(va)+len(vb)-1 {
+			t.Fatalf("length %d, want %d", len(out), len(va)+len(vb)-1)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLocalMaxima(t *testing.T) {
+	mag := []float64{0, 1, 0, 2, 2, 1, 0, 3, 0}
+	peaks := LocalMaxima(mag, 0.5)
+	want := []Peak{{1, 1}, {3, 2}, {7, 3}}
+	if len(peaks) != len(want) {
+		t.Fatalf("got %v, want %v", peaks, want)
+	}
+	for i := range want {
+		if peaks[i] != want[i] {
+			t.Fatalf("peak %d: got %v, want %v", i, peaks[i], want[i])
+		}
+	}
+}
+
+func TestLocalMaximaThreshold(t *testing.T) {
+	mag := []float64{0, 1, 0, 2, 0}
+	peaks := LocalMaxima(mag, 1.5)
+	if len(peaks) != 1 || peaks[0].Index != 3 {
+		t.Fatalf("got %v", peaks)
+	}
+}
+
+func TestLocalMaximaConstantSignal(t *testing.T) {
+	if peaks := LocalMaxima([]float64{2, 2, 2, 2}, 0); len(peaks) != 0 {
+		t.Fatalf("constant signal produced peaks: %v", peaks)
+	}
+}
+
+func TestLocalMaximaEdges(t *testing.T) {
+	// A falling signal has its maximum at index 0; LocalMaxima reports it
+	// because nothing to the left exceeds it.
+	peaks := LocalMaxima([]float64{5, 3, 1}, 0)
+	if len(peaks) != 1 || peaks[0].Index != 0 {
+		t.Fatalf("got %v", peaks)
+	}
+	peaks = LocalMaxima([]float64{1, 3, 5}, 0)
+	if len(peaks) != 1 || peaks[0].Index != 2 {
+		t.Fatalf("got %v", peaks)
+	}
+}
+
+func TestMaxWithin(t *testing.T) {
+	mag := []float64{1, 5, 2, 8, 3}
+	idx, v := MaxWithin(mag, 0, len(mag))
+	if idx != 3 || v != 8 {
+		t.Fatalf("got (%d,%g)", idx, v)
+	}
+	idx, v = MaxWithin(mag, 0, 3)
+	if idx != 1 || v != 5 {
+		t.Fatalf("got (%d,%g)", idx, v)
+	}
+	// Clamping.
+	idx, v = MaxWithin(mag, -10, 100)
+	if idx != 3 || v != 8 {
+		t.Fatalf("clamped: got (%d,%g)", idx, v)
+	}
+	if idx, _ = MaxWithin(mag, 4, 2); idx != -1 {
+		t.Fatalf("empty interval: got %d", idx)
+	}
+	if ArgMax(nil) != -1 {
+		t.Fatal("ArgMax(nil) must be -1")
+	}
+}
+
+func TestFirstAbove(t *testing.T) {
+	mag := []float64{0.1, 0.2, 0.9, 0.3}
+	if got := FirstAbove(mag, 0.5); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+	if got := FirstAbove(mag, 2); got != -1 {
+		t.Fatalf("got %d, want -1", got)
+	}
+}
+
+func TestInterpolatePeakRecoversFraction(t *testing.T) {
+	// Sample a parabola with vertex between two samples; the interpolator
+	// must recover the fractional offset exactly.
+	for _, frac := range []float64{-0.4, -0.1, 0, 0.25, 0.49} {
+		mag := make([]float64, 9)
+		for i := range mag {
+			d := float64(i) - (4 + frac)
+			mag[i] = 10 - d*d
+		}
+		got := InterpolatePeak(mag, 4)
+		if math.Abs(got-frac) > 1e-9 {
+			t.Fatalf("frac %g: got %g", frac, got)
+		}
+	}
+}
+
+func TestInterpolatePeakBoundaries(t *testing.T) {
+	mag := []float64{3, 2, 1}
+	if InterpolatePeak(mag, 0) != 0 || InterpolatePeak(mag, 2) != 0 {
+		t.Fatal("boundary interpolation must return 0")
+	}
+	if InterpolatePeak([]float64{1, 1, 1}, 1) != 0 {
+		t.Fatal("flat region must return 0")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for name, fn := range map[string]func(int) []float64{
+		"hann": Hann, "hamming": Hamming, "blackman": Blackman,
+	} {
+		if fn(0) != nil {
+			t.Errorf("%s(0) must be nil", name)
+		}
+		if w := fn(1); len(w) != 1 || w[0] != 1 {
+			t.Errorf("%s(1) = %v, want [1]", name, w)
+		}
+		w := fn(65)
+		if len(w) != 65 {
+			t.Fatalf("%s length %d", name, len(w))
+		}
+		// Symmetry and peak at center.
+		for i := range w {
+			if math.Abs(w[i]-w[len(w)-1-i]) > 1e-12 {
+				t.Fatalf("%s not symmetric at %d", name, i)
+			}
+		}
+		if ArgMax(w) != 32 {
+			t.Fatalf("%s peak not centered", name)
+		}
+	}
+	// Hann endpoints are zero.
+	w := Hann(33)
+	if w[0] != 0 || math.Abs(w[32]) > 1e-15 {
+		t.Fatalf("Hann endpoints %g %g", w[0], w[32])
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	v := []complex128{1, 1, 1, 1}
+	w := []float64{0.5, 2}
+	ApplyWindow(v, w)
+	want := []complex128{0.5, 2, 1, 1}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("got %v, want %v", v, want)
+		}
+	}
+}

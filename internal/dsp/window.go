@@ -1,0 +1,54 @@
+package dsp
+
+import "math"
+
+// Hann returns an n-point Hann window (symmetric). n <= 0 returns nil and
+// n == 1 returns [1].
+func Hann(n int) []float64 {
+	return cosineWindow(n, 0.5, 0.5)
+}
+
+// Hamming returns an n-point Hamming window (symmetric).
+func Hamming(n int) []float64 {
+	return cosineWindow(n, 0.54, 0.46)
+}
+
+// Blackman returns an n-point Blackman window (symmetric).
+func Blackman(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{1}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		out[i] = 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+	}
+	return out
+}
+
+func cosineWindow(n int, a0, a1 float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{1}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a0 - a1*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// ApplyWindow multiplies the signal v element-wise by the real window w in
+// place and returns v. Lengths may differ; only the overlap is touched.
+func ApplyWindow(v []complex128, w []float64) []complex128 {
+	n := min(len(v), len(w))
+	for i := 0; i < n; i++ {
+		v[i] *= complex(w[i], 0)
+	}
+	return v
+}

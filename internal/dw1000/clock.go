@@ -1,0 +1,41 @@
+package dw1000
+
+// Clock models a node's free-running crystal oscillator. Device time
+// advances at a slightly wrong rate (OffsetPPM parts per million) from an
+// arbitrary phase, which is what makes networks "non-synchronized" and
+// two-way ranging necessary in the first place.
+type Clock struct {
+	// OffsetPPM is the frequency error in parts per million. Typical
+	// DW1000 crystals are within ±10 ppm; TCXO-grade boards within ±0.5.
+	OffsetPPM float64
+	// Phase is the device-clock reading at simulation time zero, seconds.
+	Phase float64
+}
+
+// rate returns the device-seconds-per-simulation-second factor.
+func (c Clock) rate() float64 { return 1 + c.OffsetPPM*1e-6 }
+
+// DeviceSeconds converts an absolute simulation time to the local
+// device-clock reading in seconds.
+func (c Clock) DeviceSeconds(simTime float64) float64 {
+	return c.Phase + simTime*c.rate()
+}
+
+// SimSeconds converts a local device-clock reading in seconds back to the
+// absolute simulation time.
+func (c Clock) SimSeconds(deviceSeconds float64) float64 {
+	return (deviceSeconds - c.Phase) / c.rate()
+}
+
+// Timestamp converts an absolute simulation time to a quantized, wrapped
+// 40-bit device timestamp — what the DW1000 registers report.
+func (c Clock) Timestamp(simTime float64) DeviceTime {
+	return FromSeconds(c.DeviceSeconds(simTime))
+}
+
+// RateRatio returns this clock's rate relative to a reference clock —
+// the quantity a receiver estimates from the carrier frequency offset of
+// an incoming frame.
+func (c Clock) RateRatio(reference Clock) float64 {
+	return c.rate() / reference.rate()
+}

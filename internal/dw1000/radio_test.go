@@ -1,0 +1,302 @@
+package dw1000
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/airtime"
+	"github.com/uwb-sim/concurrent-ranging/internal/channel"
+	"github.com/uwb-sim/concurrent-ranging/internal/dsp"
+	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
+)
+
+func testRadio(t *testing.T, id string, seed uint64) *Radio {
+	t.Helper()
+	r, err := New(id, Config{PHY: airtime.PaperConfig()}, rand.New(rand.NewPCG(seed, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := New("", Config{PHY: airtime.PaperConfig()}, rng); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := New("a", Config{PHY: airtime.PaperConfig()}, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := New("a", Config{}, rng); err == nil {
+		t.Error("invalid PHY accepted")
+	}
+	if _, err := New("a", Config{PHY: airtime.PaperConfig(), PGDelay: 0x10}, rng); err == nil {
+		t.Error("invalid PGDelay accepted")
+	}
+	r, err := New("a", Config{PHY: airtime.PaperConfig()}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config().PGDelay != pulse.DefaultRegister {
+		t.Error("PGDelay default not applied")
+	}
+	if r.Config().NoiseRMS != DefaultNoiseRMS {
+		t.Error("noise default not applied")
+	}
+	if r.Config().Jitter != DefaultJitter() {
+		t.Error("jitter default not applied")
+	}
+}
+
+func TestSetPGDelay(t *testing.T) {
+	r := testRadio(t, "a", 2)
+	if err := r.SetPGDelay(pulse.RegisterS3); err != nil {
+		t.Fatal(err)
+	}
+	if r.Shape().Register != pulse.RegisterS3 {
+		t.Fatal("shape not updated")
+	}
+	if err := r.SetPGDelay(0x01); err == nil {
+		t.Fatal("invalid register accepted")
+	}
+}
+
+func TestScheduleDelayedTXTruncates(t *testing.T) {
+	r := testRadio(t, "a", 3)
+	now := 1e-3
+	requested := r.Now(now).Add(290e-6)
+	actual, simTX, err := r.ScheduleDelayedTX(now, requested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actual&0x1FF != 0 {
+		t.Fatal("realized TX time not truncated")
+	}
+	early := requested.Sub(actual)
+	if early < 0 || early >= DelayedTXGranularity {
+		t.Fatalf("truncation offset %g outside [0, 8 ns)", early)
+	}
+	// The realized sim time reflects the truncation (ideal clock).
+	wantSim := now + 290e-6 - early
+	if math.Abs(simTX-wantSim) > 1e-12 {
+		t.Fatalf("simTX %g, want %g", simTX, wantSim)
+	}
+}
+
+func TestScheduleDelayedTXInPast(t *testing.T) {
+	r := testRadio(t, "a", 4)
+	now := 1e-3
+	requested := r.Now(now).Add(-1e-6)
+	_, _, err := r.ScheduleDelayedTX(now, requested)
+	var pastErr *ErrDelayedTXInPast
+	if !errors.As(err, &pastErr) {
+		t.Fatalf("want ErrDelayedTXInPast, got %v", err)
+	}
+}
+
+func TestRXTimestampJitterStatistics(t *testing.T) {
+	r := testRadio(t, "a", 5)
+	arrival := 2e-3
+	var stats dsp.Running
+	for i := 0; i < 4000; i++ {
+		ts := r.RXTimestamp(arrival, pulse.NominalBandwidth)
+		stats.Add(ts.Seconds() - arrival)
+	}
+	sigma := r.Config().Jitter.Sigma(pulse.NominalBandwidth)
+	if got := stats.StdDev(); got < 0.9*sigma || got > 1.1*sigma {
+		t.Fatalf("timestamp jitter std %g, want ~%g", got, sigma)
+	}
+	if math.Abs(stats.Mean()) > sigma/10 {
+		t.Fatalf("timestamp bias %g", stats.Mean())
+	}
+}
+
+func TestJitterGrowsForWiderPulses(t *testing.T) {
+	j := DefaultJitter()
+	s1, _ := pulse.ForRegister(pulse.RegisterS1)
+	s3, _ := pulse.ForRegister(pulse.RegisterS3)
+	if j.Sigma(s3.Bandwidth) <= j.Sigma(s1.Bandwidth) {
+		t.Fatal("wider pulse must have larger timestamp jitter")
+	}
+	// Degenerate bandwidth falls back to Sigma0.
+	if j.Sigma(0) != j.Sigma0 {
+		t.Fatal("zero bandwidth fallback broken")
+	}
+}
+
+// lineTaps builds a single-tap LOS channel at distance d meters.
+func lineTaps(d float64) []channel.Tap {
+	return []channel.Tap{{
+		Delay: d / channel.SpeedOfLight,
+		Gain:  complex(channel.FreeSpacePathLoss(channel.Channel7CenterFrequency).AmplitudeGain(d), 0),
+		Order: 0,
+	}}
+}
+
+func TestReceiveSingleArrival(t *testing.T) {
+	r := testRadio(t, "rx", 6)
+	shape, _ := pulse.ForRegister(pulse.RegisterS1)
+	rec, err := r.Receive([]Arrival{{
+		SourceID: "tx1",
+		TXTime:   1e-3,
+		Shape:    shape,
+		Taps:     lineTaps(5),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LockedSourceID != "tx1" {
+		t.Fatalf("locked to %q", rec.LockedSourceID)
+	}
+	wantArrival := 1e-3 + 5/channel.SpeedOfLight
+	if math.Abs(rec.LockedArrivalTime-wantArrival) > 1e-15 {
+		t.Fatalf("lock time %g, want %g", rec.LockedArrivalTime, wantArrival)
+	}
+	// The first path must sit at the reference index.
+	mag := rec.CIR.Magnitude()
+	idx := dsp.ArgMax(mag)
+	if idx != ReferenceIndex {
+		t.Fatalf("peak at %d, want reference %d", idx, ReferenceIndex)
+	}
+	// Timestamp near the true arrival.
+	if math.Abs(rec.Timestamp.Seconds()-wantArrival) > 1e-9 {
+		t.Fatalf("timestamp error %g", rec.Timestamp.Seconds()-wantArrival)
+	}
+}
+
+func TestReceiveLocksOnEarliestArrival(t *testing.T) {
+	r := testRadio(t, "rx", 7)
+	shape, _ := pulse.ForRegister(pulse.RegisterS1)
+	arrivals := []Arrival{
+		{SourceID: "far", TXTime: 1e-3, Shape: shape, Taps: lineTaps(30)},
+		{SourceID: "near", TXTime: 1e-3, Shape: shape, Taps: lineTaps(4)},
+	}
+	rec, err := r.Receive(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LockedSourceID != "near" {
+		t.Fatalf("locked to %q, want near", rec.LockedSourceID)
+	}
+	// Both responses visible as distinct peaks: near at the reference,
+	// far delayed by (30-4)m of light travel.
+	mag := rec.CIR.Magnitude()
+	sep := (30 - 4) / channel.SpeedOfLight / SampleInterval
+	farIdx, _ := dsp.MaxWithin(mag, ReferenceIndex+int(sep)-3, ReferenceIndex+int(sep)+4)
+	if farIdx < 0 {
+		t.Fatal("far response not found")
+	}
+	if mag[farIdx] < 3*rec.CIR.EstimateNoiseRMS() {
+		t.Fatal("far response below noise floor")
+	}
+}
+
+func TestReceiveLDEIgnoresWeakPrecursor(t *testing.T) {
+	// A tap far below the strongest path must not capture the lock
+	// (leading-edge detection threshold).
+	r := testRadio(t, "rx", 8)
+	shape, _ := pulse.ForRegister(pulse.RegisterS1)
+	strong := lineTaps(10)[0]
+	weak := channel.Tap{Delay: strong.Delay - 20e-9, Gain: strong.Gain * 0.01, Order: 1}
+	rec, err := r.Receive([]Arrival{{
+		SourceID: "tx",
+		TXTime:   1e-3,
+		Shape:    shape,
+		Taps:     []channel.Tap{weak, strong},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-3 + strong.Delay
+	if math.Abs(rec.LockedArrivalTime-want) > 1e-15 {
+		t.Fatal("lock captured by sub-threshold precursor")
+	}
+}
+
+func TestReceiveErrors(t *testing.T) {
+	r := testRadio(t, "rx", 9)
+	if _, err := r.Receive(nil); err == nil {
+		t.Error("empty arrivals accepted")
+	}
+	shape, _ := pulse.ForRegister(pulse.RegisterS1)
+	if _, err := r.Receive([]Arrival{{SourceID: "x", Shape: shape}}); err == nil {
+		t.Error("arrival without taps accepted")
+	}
+}
+
+func TestReceiveNoiseFloor(t *testing.T) {
+	r := testRadio(t, "rx", 10)
+	shape, _ := pulse.ForRegister(pulse.RegisterS1)
+	rec, err := r.Receive([]Arrival{{
+		SourceID: "tx", TXTime: 0, Shape: shape, Taps: lineTaps(3),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := rec.CIR.EstimateNoiseRMS()
+	if est < DefaultNoiseRMS/3 || est > DefaultNoiseRMS*3 {
+		t.Fatalf("noise estimate %g far from configured %g", est, DefaultNoiseRMS)
+	}
+	// The leading edge crosses the threshold on the pulse's rising flank,
+	// at or shortly before the reference (peak) index.
+	if got := rec.CIR.FirstPathIndex(6); got < ReferenceIndex-4 || got > ReferenceIndex {
+		t.Fatalf("first path at %d, want near reference %d", got, ReferenceIndex)
+	}
+}
+
+func TestReceiveDisabledNoise(t *testing.T) {
+	r, err := New("rx", Config{PHY: airtime.PaperConfig(), NoiseRMS: -1},
+		rand.New(rand.NewPCG(11, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, _ := pulse.ForRegister(pulse.RegisterS1)
+	rec, err := r.Receive([]Arrival{{
+		SourceID: "tx", TXTime: 0, Shape: shape, Taps: lineTaps(3),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All pre-reference taps must be exactly zero.
+	for i := 0; i < ReferenceIndex-5; i++ {
+		if rec.CIR.Taps[i] != 0 {
+			t.Fatalf("tap %d nonzero without noise", i)
+		}
+	}
+	// Noise disabled: the estimate comes from the leading window, which
+	// holds only the faint pulse tail, so the leading-edge search lands on
+	// the rising edge at or just before the reference index.
+	if got := rec.CIR.FirstPathIndex(6); got < ReferenceIndex-4 || got > ReferenceIndex {
+		t.Fatalf("first path at %d, want near reference %d", got, ReferenceIndex)
+	}
+}
+
+func TestCIRCloneIndependent(t *testing.T) {
+	c := &CIR{Taps: []complex128{1, 2}, SampleInterval: SampleInterval}
+	cl := c.Clone()
+	cl.Taps[0] = 99
+	if c.Taps[0] == 99 {
+		t.Fatal("Clone aliases taps")
+	}
+	if got := c.TimeAt(1); got != SampleInterval {
+		t.Fatalf("TimeAt = %g", got)
+	}
+}
+
+func TestEstimateClockRatioStatistics(t *testing.T) {
+	r := testRadio(t, "a", 91)
+	remote := Clock{OffsetPPM: 7}
+	truth := remote.RateRatio(r.Clock())
+	var stats dsp.Running
+	for i := 0; i < 3000; i++ {
+		stats.Add(r.EstimateClockRatio(remote) - truth)
+	}
+	if math.Abs(stats.Mean()) > CFOEstimateSigma/5 {
+		t.Fatalf("CFO estimate bias %g", stats.Mean())
+	}
+	if got := stats.StdDev(); got < 0.8*CFOEstimateSigma || got > 1.2*CFOEstimateSigma {
+		t.Fatalf("CFO estimate std %g, want ~%g", got, CFOEstimateSigma)
+	}
+}

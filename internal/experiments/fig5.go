@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/dsp"
+	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
+)
+
+// Fig5Result reproduces Fig. 5: the pulse shapes s₁..s₄ produced by
+// TC_PGDELAY values 0x93, 0xC8, 0xE6 and 0xF0, scaled to unit energy.
+type Fig5Result struct {
+	// Registers are the TC_PGDELAY values.
+	Registers []byte
+	// Bandwidths are the resulting output bandwidths in Hz.
+	Bandwidths []float64
+	// Durations are the truncated pulse durations T_p in seconds.
+	Durations []float64
+	// Time is the common sample axis in seconds.
+	Time []float64
+	// Shapes holds one unit-energy sampled pulse per register.
+	Shapes [][]float64
+}
+
+// Fig5 samples the four paper pulse shapes on a fine common time axis.
+func Fig5() (*Fig5Result, error) {
+	regs := []byte{pulse.RegisterS1, pulse.RegisterS2, pulse.RegisterS3, pulse.RegisterS4}
+	const ts = 0.1e-9
+	res := &Fig5Result{Registers: regs}
+	var maxHalf float64
+	shapes := make([]pulse.Shape, len(regs))
+	for i, reg := range regs {
+		s, err := pulse.ForRegister(reg)
+		if err != nil {
+			return nil, err
+		}
+		shapes[i] = s
+		res.Bandwidths = append(res.Bandwidths, s.Bandwidth)
+		res.Durations = append(res.Durations, s.Duration())
+		if h := s.SupportHalfWidth(); h > maxHalf {
+			maxHalf = h
+		}
+	}
+	n := 2*int(maxHalf/ts) + 1
+	center := (n - 1) / 2
+	res.Time = make([]float64, n)
+	for i := range res.Time {
+		res.Time[i] = float64(i-center) * ts
+	}
+	for _, s := range shapes {
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = s.Eval(res.Time[i])
+		}
+		dsp.NormalizeEnergyReal(samples)
+		res.Shapes = append(res.Shapes, samples)
+	}
+	return res, nil
+}
+
+// Render formats the shapes.
+func (r *Fig5Result) Render() string {
+	out := "== Fig. 5 — pulse shapes for TC_PGDELAY values ==\n"
+	t := &Table{Header: []string{"shape", "register", "bandwidth [MHz]", "duration [ns]"}}
+	for i, reg := range r.Registers {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("s%d", i+1),
+			fmt.Sprintf("0x%02X", reg),
+			fmtF(r.Bandwidths[i]/1e6, 0),
+			fmtF(r.Durations[i]*1e9, 1),
+		})
+	}
+	out += t.String()
+	for i, shape := range r.Shapes {
+		s := Series{Y: shape}
+		out += fmt.Sprintf("s%d |%s|\n", i+1, s.Sparkline(90))
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap runs fn for every index in [0, n) across a bounded worker
+// pool and returns the results in index order. The first error cancels
+// nothing (trials are cheap and independent) but is reported after all
+// workers finish, keeping the result slice deterministic. Every trial
+// must derive its randomness from its index — never from shared state —
+// so the parallel run is bit-identical to a sequential one.
+func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	workers := min(runtime.GOMAXPROCS(0), n)
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

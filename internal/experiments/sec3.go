@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/airtime"
+)
+
+func paperPHY() airtime.Config { return airtime.PaperConfig() }
+
+// Sec3DelayResult reproduces the Δ_RESP derivation of Sect. III: the
+// minimum response delay at DR = 6.8 Mbps, PRF = 64 MHz, PSR = 128 is
+// 178.5 µs; with the <100 µs turnaround and a safety gap the paper uses
+// 290 µs.
+type Sec3DelayResult struct {
+	PHRDuration, PayloadDuration    float64
+	PreambleDuration, SFDDuration   float64
+	MinResponseDelay, ResponseDelay float64
+	Turnaround                      float64
+}
+
+// Sec3Delay computes the response-delay budget.
+func Sec3Delay() (*Sec3DelayResult, error) {
+	cfg := paperPHY()
+	phr, err := cfg.PHRDuration()
+	if err != nil {
+		return nil, err
+	}
+	pay, err := cfg.PayloadDuration(airtime.InitPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	pre, err := cfg.PreambleDuration()
+	if err != nil {
+		return nil, err
+	}
+	sfd, err := cfg.SFDDuration()
+	if err != nil {
+		return nil, err
+	}
+	minD, err := airtime.MinResponseDelay(cfg, airtime.InitPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := airtime.ResponseDelay(cfg, airtime.InitPayloadBytes, airtime.DefaultTurnaround)
+	if err != nil {
+		return nil, err
+	}
+	return &Sec3DelayResult{
+		PHRDuration:      phr,
+		PayloadDuration:  pay,
+		PreambleDuration: pre,
+		SFDDuration:      sfd,
+		MinResponseDelay: minD,
+		ResponseDelay:    resp,
+		Turnaround:       airtime.DefaultTurnaround,
+	}, nil
+}
+
+// Render formats the budget.
+func (r *Sec3DelayResult) Render() string {
+	t := &Table{
+		Title:  "Sect. III — response delay budget (6.8 Mbps, PRF 64, PSR 128)",
+		Header: []string{"component", "duration [µs]"},
+		Rows: [][]string{
+			{"INIT PHR", fmtF(r.PHRDuration*1e6, 2)},
+			{"INIT payload", fmtF(r.PayloadDuration*1e6, 2)},
+			{"RESP preamble", fmtF(r.PreambleDuration*1e6, 2)},
+			{"RESP SFD", fmtF(r.SFDDuration*1e6, 2)},
+			{"minimum Δ_RESP", fmtF(r.MinResponseDelay*1e6, 1)},
+			{"turnaround bound", fmtF(r.Turnaround*1e6, 1)},
+			{"chosen Δ_RESP", fmtF(r.ResponseDelay*1e6, 1)},
+		},
+	}
+	return t.String()
+}
+
+// Sec3MessagesResult reproduces the message-count and energy scaling of
+// Sects. I and III: N·(N−1) scheduled messages versus N concurrent ones.
+type Sec3MessagesResult struct {
+	// N holds the network sizes.
+	N []int
+	// Scheduled and Concurrent are the total message counts.
+	Scheduled, Concurrent []int
+	// ScheduledEnergy and ConcurrentEnergy are network radio energies in
+	// millijoules.
+	ScheduledEnergy, ConcurrentEnergy []float64
+	// InitiatorScheduledEnergy and InitiatorConcurrentEnergy are the
+	// initiator-side energies in millijoules.
+	InitiatorScheduledEnergy, InitiatorConcurrentEnergy []float64
+}
+
+// Sec3Messages sweeps the network size.
+func Sec3Messages(sizes []int) (*Sec3MessagesResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 3, 5, 10, 20, 50}
+	}
+	cfg := paperPHY()
+	pm := airtime.DefaultPowerModel()
+	res := &Sec3MessagesResult{N: sizes}
+	for _, n := range sizes {
+		sched, err := airtime.ScheduledTWRCost(cfg, pm, n)
+		if err != nil {
+			return nil, err
+		}
+		conc, err := airtime.ConcurrentCost(cfg, pm, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Scheduled = append(res.Scheduled, sched.Messages)
+		res.Concurrent = append(res.Concurrent, conc.Messages)
+		res.ScheduledEnergy = append(res.ScheduledEnergy, sched.NetworkEnergy*1e3)
+		res.ConcurrentEnergy = append(res.ConcurrentEnergy, conc.NetworkEnergy*1e3)
+		res.InitiatorScheduledEnergy = append(res.InitiatorScheduledEnergy, sched.InitiatorEnergy*1e3)
+		res.InitiatorConcurrentEnergy = append(res.InitiatorConcurrentEnergy, conc.InitiatorEnergy*1e3)
+	}
+	return res, nil
+}
+
+// Render formats the sweep.
+func (r *Sec3MessagesResult) Render() string {
+	t := &Table{
+		Title: "Sect. III — scheduled N·(N−1) vs concurrent N",
+		Header: []string{"N", "msgs sched", "msgs conc", "net mJ sched", "net mJ conc",
+			"init mJ sched", "init mJ conc"},
+	}
+	for i, n := range r.N {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprint(r.Scheduled[i]),
+			fmt.Sprint(r.Concurrent[i]),
+			fmtF(r.ScheduledEnergy[i], 3),
+			fmtF(r.ConcurrentEnergy[i], 3),
+			fmtF(r.InitiatorScheduledEnergy[i], 3),
+			fmtF(r.InitiatorConcurrentEnergy[i], 3),
+		})
+	}
+	return t.String()
+}

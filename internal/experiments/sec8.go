@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/airtime"
+	"github.com/uwb-sim/concurrent-ranging/internal/core"
+	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
+)
+
+// Sec8Result reproduces the scalability analysis of Sect. VIII: the
+// supported responder count N_max = N_RPM · N_PS for combinations of
+// maximum range and pulse-shape count, and the headline comparison — with
+// r_max = 20 m and the full shape bank the scheme supports > 1500
+// responders, for which the initiator needs a single transmit and a
+// single receive operation instead of 1499 each.
+type Sec8Result struct {
+	// Ranges and ShapeCounts are the sweep axes.
+	Ranges      []float64
+	ShapeCounts []int
+	// Capacity[i][j] is N_max for Ranges[i] × ShapeCounts[j].
+	Capacity [][]int
+	// HeadlineResponders is the paper's >1500 case (r_max = 20 m, full
+	// bank).
+	HeadlineResponders int
+	// HeadlineInitiatorOps is the initiator's TX+RX count under
+	// concurrent ranging (always 2).
+	HeadlineInitiatorOps int
+	// HeadlineScheduledOps is the initiator's TX+RX count under
+	// scheduled SS-TWR for the same network.
+	HeadlineScheduledOps int
+}
+
+// Sec8 runs the capacity sweep.
+func Sec8() (*Sec8Result, error) {
+	ranges := []float64{20, 30, 50, 75}
+	shapeCounts := []int{1, 3, 10, 50, pulse.NumShapes}
+	res := &Sec8Result{Ranges: ranges, ShapeCounts: shapeCounts}
+	for _, r := range ranges {
+		row := make([]int, len(shapeCounts))
+		for j, nps := range shapeCounts {
+			plan, err := core.NewSlotPlan(r, nps)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = plan.Capacity()
+		}
+		res.Capacity = append(res.Capacity, row)
+	}
+	headline, err := core.NewSlotPlan(20, pulse.NumShapes)
+	if err != nil {
+		return nil, err
+	}
+	res.HeadlineResponders = headline.Capacity()
+	res.HeadlineInitiatorOps = 2 // one broadcast TX + one aggregated RX
+	n := res.HeadlineResponders + 1
+	sched, err := airtime.ScheduledTWRCost(paperPHY(), airtime.DefaultPowerModel(), n)
+	if err != nil {
+		return nil, err
+	}
+	res.HeadlineScheduledOps = sched.InitiatorTx + sched.InitiatorRx
+	return res, nil
+}
+
+// Render formats the sweep.
+func (r *Sec8Result) Render() string {
+	t := &Table{
+		Title:  "Sect. VIII — combined-scheme capacity N_max = N_RPM · N_PS",
+		Header: []string{"r_max [m]"},
+	}
+	for _, nps := range r.ShapeCounts {
+		t.Header = append(t.Header, fmt.Sprintf("N_PS=%d", nps))
+	}
+	for i, rng := range r.Ranges {
+		row := []string{fmtF(rng, 0)}
+		for _, c := range r.Capacity[i] {
+			row = append(row, fmt.Sprint(c))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	out := t.String()
+	out += fmt.Sprintf("headline: %d responders supported at r_max = 20 m; initiator ops %d (concurrent) vs %d (scheduled SS-TWR)\n",
+		r.HeadlineResponders, r.HeadlineInitiatorOps, r.HeadlineScheduledOps)
+	return out
+}

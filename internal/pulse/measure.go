@@ -1,0 +1,52 @@
+package pulse
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/dsp"
+)
+
+// MeasureTemplate reproduces the paper's pulse-measurement campaign
+// (Sect. IV): transmitter and receiver joined by an SMA cable and a 60 dB
+// attenuator, the receiver logging `trials` CIRs, and post-processing that
+// cuts out the direct-path component and averages it. Here each "logged
+// CIR" is the true sampled pulse plus complex white noise at the given SNR
+// (in dB, relative to the unit template energy); the returned template is
+// the coherent average, re-normalized to unit energy.
+//
+// The result converges to Shape.Template as trials grows, which is exactly
+// why the paper's measured templates are usable as matched-filter inputs.
+func MeasureTemplate(s Shape, ts float64, trials int, snrDB float64, rng *rand.Rand) ([]complex128, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("pulse: measurement campaign needs at least 1 trial, got %d", trials)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("pulse: nil RNG")
+	}
+	truth := s.Template(ts)
+	n := len(truth)
+	// Per-sample noise std such that total noise energy / signal energy
+	// matches the requested SNR (template energy is 1).
+	noiseVar := dsp.FromDB(-snrDB) / float64(n)
+	sigma := sqrtHalf(noiseVar)
+	acc := make([]complex128, n)
+	for t := 0; t < trials; t++ {
+		for i := range acc {
+			noise := complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+			acc[i] += truth[i] + noise
+		}
+	}
+	dsp.Scale(acc, complex(1/float64(trials), 0))
+	return dsp.NormalizeEnergy(acc), nil
+}
+
+// sqrtHalf returns sqrt(v/2), the per-quadrature standard deviation of
+// circularly-symmetric complex noise with total variance v.
+func sqrtHalf(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v / 2)
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/channel"
+	"github.com/uwb-sim/concurrent-ranging/internal/geom"
+)
+
+func campaignNetwork(t *testing.T, n int, seed uint64) (*Network, []*Node) {
+	t.Helper()
+	net, err := NewNetwork(NetworkConfig{Environment: channel.Hallway(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		node, err := net.AddNode(NodeConfig{ID: i, Pos: geom.Point{X: 1 + 3*float64(i), Y: 0.9}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+	return net, nodes
+}
+
+func TestScheduledCampaignMeasuresAllPairs(t *testing.T) {
+	net, nodes := campaignNetwork(t, 4, 41)
+	res, err := net.RunScheduledCampaign(nodes, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Distances) != 6 {
+		t.Fatalf("%d pairs, want 6", len(res.Distances))
+	}
+	if res.Messages != 12 { // N·(N−1) for N=4
+		t.Fatalf("messages %d, want 12", res.Messages)
+	}
+	for pair, d := range res.Distances {
+		truth := 3 * math.Abs(float64(pair[1]-pair[0]))
+		if math.Abs(d-truth) > 0.1 {
+			t.Fatalf("pair %v: %g, want %g", pair, d, truth)
+		}
+	}
+	if res.Duration <= 0 || res.AirTime <= 0 || res.RadioEnergy <= 0 {
+		t.Fatalf("costs not tallied: %+v", res)
+	}
+	if _, err := net.RunScheduledCampaign(nodes[:1], 0, nil); err == nil {
+		t.Fatal("single node accepted")
+	}
+}
+
+func TestConcurrentCampaignBeatsScheduled(t *testing.T) {
+	netA, nodesA := campaignNetwork(t, 5, 43)
+	sched, err := netA.RunScheduledCampaign(nodesA, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB, nodesB := campaignNetwork(t, 5, 43)
+	conc, _, err := netB.RunConcurrentCampaign(nodesB[0], nodesB[1:], RoundConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Messages != 5 || sched.Messages != 20 {
+		t.Fatalf("messages %d vs %d", conc.Messages, sched.Messages)
+	}
+	// One concurrent round must be far cheaper on every axis than the
+	// full scheduled campaign — the paper's headline claim, now measured
+	// on simulated protocols rather than analytic formulas.
+	if conc.Duration >= sched.Duration/3 {
+		t.Fatalf("duration %g vs %g", conc.Duration, sched.Duration)
+	}
+	if conc.AirTime >= sched.AirTime/3 {
+		t.Fatalf("air time %g vs %g", conc.AirTime, sched.AirTime)
+	}
+	if conc.RadioEnergy >= sched.RadioEnergy {
+		t.Fatalf("energy %g vs %g", conc.RadioEnergy, sched.RadioEnergy)
+	}
+}
+
+func TestCaptureModelDecodesCleanRound(t *testing.T) {
+	net, init, resps := hallwayNetwork(t, 47)
+	res, err := net.RunConcurrentRound(init, resps, RoundConfig{Capture: DefaultCaptureModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three responders with the closest dominating: the lock decodes.
+	if !res.DecodeOK {
+		t.Fatalf("decode failed at SIR %.1f dB", res.LockSIRdB)
+	}
+	if math.IsInf(res.LockSIRdB, 0) || res.LockSIRdB <= 0 {
+		t.Fatalf("implausible SIR %g for a dominant lock", res.LockSIRdB)
+	}
+}
+
+func TestCaptureModelFailsUnderHeavyInterference(t *testing.T) {
+	// Nine equal-power responders: the locked frame sits ~9 dB under the
+	// aggregate interference; a 0 dB-threshold receiver cannot decode.
+	net, err := NewNetwork(NetworkConfig{Environment: channel.FreeSpace(), Seed: 49})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, _ := net.AddNode(NodeConfig{ID: -1, Name: "init", Pos: geom.Point{X: 0, Y: 0}})
+	var resps []*Node
+	for i := 0; i < 9; i++ {
+		// All at the same distance on a circle.
+		angle := float64(i) * 2 * math.Pi / 9
+		node, err := net.AddNode(NodeConfig{ID: i, Pos: geom.Point{
+			X: 5 * math.Cos(angle), Y: 5 * math.Sin(angle)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps = append(resps, node)
+	}
+	strict := &CaptureModel{ThresholdDB: 0}
+	res, err := net.RunConcurrentRound(init, resps, RoundConfig{Capture: strict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecodeOK {
+		t.Fatalf("decode succeeded at SIR %.1f dB against a 0 dB threshold", res.LockSIRdB)
+	}
+	if res.LockSIRdB > -8 {
+		t.Fatalf("SIR %g dB, want ~ -9 dB for 8 equal interferers", res.LockSIRdB)
+	}
+	// The default (more tolerant) model also fails here.
+	net2, err := NewNetwork(NetworkConfig{Environment: channel.FreeSpace(), Seed: 49})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init2, _ := net2.AddNode(NodeConfig{ID: -1, Name: "init", Pos: geom.Point{X: 0, Y: 0}})
+	var resps2 []*Node
+	for i := 0; i < 9; i++ {
+		angle := float64(i) * 2 * math.Pi / 9
+		node, _ := net2.AddNode(NodeConfig{ID: i, Pos: geom.Point{
+			X: 5 * math.Cos(angle), Y: 5 * math.Sin(angle)}})
+		resps2 = append(resps2, node)
+	}
+	res2, err := net2.RunConcurrentRound(init2, resps2, RoundConfig{Capture: DefaultCaptureModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DecodeOK {
+		t.Fatal("equal-power 9-responder round should defeat even the default capture model")
+	}
+}
+
+func TestDriftCompensationRemovesTWRBias(t *testing.T) {
+	run := func(compensate bool) float64 {
+		net, err := NewNetwork(NetworkConfig{Environment: channel.Office(), Seed: 53})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := net.AddNode(NodeConfig{ID: -1, Name: "init", Pos: geom.Point{X: 1, Y: 1}})
+		b, _ := net.AddNode(NodeConfig{ID: 0, Name: "resp", Pos: geom.Point{X: 6, Y: 1},
+			ClockOffsetPPM: 10})
+		var sum float64
+		const rounds = 30
+		for i := 0; i < rounds; i++ {
+			res, err := net.RunConcurrentRound(a, []*Node{b}, RoundConfig{
+				DriftCompensation: compensate,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.TWRDistance() - 5
+		}
+		return sum / rounds
+	}
+	biased := run(false)
+	compensated := run(true)
+	// +10 ppm at Δ_RESP = 290 µs → ~ -0.43 m bias without compensation.
+	wantBias := -channel.SpeedOfLight * 290e-6 * 10e-6 / 2
+	if math.Abs(biased-wantBias) > 0.05 {
+		t.Fatalf("uncompensated bias %g, want ~%g", biased, wantBias)
+	}
+	if math.Abs(compensated) > 0.02 {
+		t.Fatalf("compensated bias %g, want ~0", compensated)
+	}
+}
+
+func TestTracerEmitsProtocolTimeline(t *testing.T) {
+	net, init, resps := hallwayNetwork(t, 59)
+	var events []TraceEvent
+	net.SetTracer(func(e TraceEvent) { events = append(events, e) })
+	if _, err := net.RunConcurrentRound(init, resps, RoundConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for i, e := range events {
+		kinds[e.Kind]++
+		if i > 0 && e.Time < events[i-1].Time-1e-12 {
+			t.Fatalf("trace not time-ordered at %d: %v after %v", i, e, events[i-1])
+		}
+		if e.String() == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+	if kinds[EventTXInit] != 1 || kinds[EventRXInit] != 3 ||
+		kinds[EventTXResponse] != 3 || kinds[EventRXAggregate] != 1 || kinds[EventDecode] != 1 {
+		t.Fatalf("event census %v", kinds)
+	}
+	// Tracing off: no callback.
+	net.SetTracer(nil)
+	before := len(events)
+	if _, err := net.RunConcurrentRound(init, resps, RoundConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != before {
+		t.Fatal("tracer fired after being removed")
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(e.Schedule(3, func() { order = append(order, 3) }))
+	must(e.Schedule(1, func() { order = append(order, 1) }))
+	must(e.Schedule(2, func() { order = append(order, 2) }))
+	if n := e.Run(); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order %v", order)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock at %g", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := e.Schedule(1, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineEventsScheduleEvents(t *testing.T) {
+	var e Engine
+	var got []float64
+	if err := e.Schedule(1, func() {
+		got = append(got, e.Now())
+		if err := e.After(0.5, func() { got = append(got, e.Now()) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 1.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEngineRejectsPastAndNil(t *testing.T) {
+	var e Engine
+	if err := e.Schedule(1, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.Schedule(0.5, func() {}); err == nil {
+		t.Fatal("past event accepted")
+	}
+	if err := e.Schedule(2, nil); err == nil {
+		t.Fatal("nil event accepted")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	var count int
+	for _, at := range []float64{1, 2, 3, 4} {
+		if err := e.Schedule(at, func() { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.RunUntil(2.5); n != 2 {
+		t.Fatalf("ran %d events", n)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("clock at %g, want deadline", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("%d pending", e.Pending())
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("total %d events", count)
+	}
+}

@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/airtime"
+	"github.com/uwb-sim/concurrent-ranging/internal/core"
+	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
+	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
+)
+
+// RoundConfig parameterizes one concurrent-ranging round (Fig. 3 right).
+type RoundConfig struct {
+	// ResponseDelay is Δ_RESP, the common response delay measured between
+	// the INIT and RESP RMARKERs in each responder's clock. Zero selects
+	// the paper's 290 µs.
+	ResponseDelay float64
+	// Plan is the RPM × pulse-shaping layout. The zero value selects the
+	// anonymous single-slot single-shape scheme.
+	Plan core.SlotPlan
+	// Bank provides the pulse shapes; it must hold at least
+	// Plan.NumShapes shapes. Nil selects a default bank of Plan.NumShapes
+	// shapes at the accumulator rate.
+	Bank *pulse.Bank
+	// DisableTXQuantization models a next-generation transceiver without
+	// the 8 ns delayed-TX truncation (Sect. III notes the limitation is
+	// hardware-dependent). The default keeps the DW1000 behavior.
+	DisableTXQuantization bool
+	// InitPayloadBytes and RespPayloadBytes size the frames for timing
+	// validation and energy accounting; zero selects the airtime defaults.
+	InitPayloadBytes, RespPayloadBytes int
+	// Capture optionally models payload-decode failures under concurrent
+	// interference. Nil keeps the paper's working assumption that the
+	// locked responder's payload always decodes.
+	Capture *CaptureModel
+	// DriftCompensation lets the initiator correct the decoded
+	// responder's turnaround span with its carrier-frequency-offset
+	// estimate of that responder's clock rate — the standard SS-TWR
+	// drift fix. Without it, crystal offsets bias d_TWR by
+	// c·Δ_RESP·e/2 (~4.3 cm per ppm at the paper's 290 µs).
+	DriftCompensation bool
+}
+
+func (c *RoundConfig) applyDefaults() error {
+	if c.ResponseDelay == 0 {
+		c.ResponseDelay = airtime.DefaultResponseDelay
+	}
+	if c.Plan == (core.SlotPlan{}) {
+		c.Plan = core.SingleSlot(1)
+	}
+	if err := c.Plan.Validate(); err != nil {
+		return err
+	}
+	if c.Bank == nil {
+		bank, err := pulse.DefaultBank(dw1000.SampleInterval, c.Plan.NumShapes)
+		if err != nil {
+			return err
+		}
+		c.Bank = bank
+	}
+	if c.Bank.Len() < c.Plan.NumShapes {
+		return fmt.Errorf("sim: bank has %d shapes, plan needs %d", c.Bank.Len(), c.Plan.NumShapes)
+	}
+	if c.InitPayloadBytes == 0 {
+		c.InitPayloadBytes = airtime.InitPayloadBytes
+	}
+	if c.RespPayloadBytes == 0 {
+		c.RespPayloadBytes = airtime.RespPayloadBytes
+	}
+	return nil
+}
+
+// RespPayload is the content of one RESP frame: the responder's INIT
+// receive timestamp and its (pre-calculated) RESP transmit timestamp,
+// both in its own clock (Fig. 3).
+type RespPayload struct {
+	// SourceID is the responder's application-level ID.
+	SourceID int
+	// RXInit is t_rx,i.
+	RXInit dw1000.DeviceTime
+	// TXResp is t_tx,i.
+	TXResp dw1000.DeviceTime
+}
+
+// RoundResult is everything the initiator observes in one round, plus the
+// simulation ground truth for evaluation.
+type RoundResult struct {
+	// InitTXTimestamp is the initiator's t_tx,init.
+	InitTXTimestamp dw1000.DeviceTime
+	// Reception holds the CIR and the RX timestamp t_rx,init.
+	Reception *dw1000.Reception
+	// DecodedID is the responder whose payload was decoded (the capture
+	// of the earliest-arriving frame the receiver locked to).
+	DecodedID int
+	// Decoded is that payload. Valid only when DecodeOK is true.
+	Decoded RespPayload
+	// DecodeOK reports whether the locked payload survived the
+	// interference of the other concurrent responses (always true without
+	// a capture model).
+	DecodeOK bool
+	// LockSIRdB is the locked arrival's signal-to-interference ratio.
+	LockSIRdB float64
+	// ClockRatio is the initiator's CFO-based estimate of the decoded
+	// responder's clock rate relative to its own (1 when drift
+	// compensation is off).
+	ClockRatio float64
+	// Shapes records the pulse-shape index each responder transmitted
+	// with, keyed by responder ID (ground truth).
+	Shapes map[int]int
+	// Slots records each responder's RPM slot (ground truth).
+	Slots map[int]int
+	// TrueDistance is the geometric initiator–responder distance, keyed
+	// by responder ID (ground truth).
+	TrueDistance map[int]float64
+	// TXQuantizationError is the realized TX-instant error of each
+	// responder caused by the 8 ns delayed-TX truncation, seconds
+	// (ground truth; 0 when quantization is disabled).
+	TXQuantizationError map[int]float64
+}
+
+// RunConcurrentRound executes one INIT broadcast plus the simultaneous
+// RESP replies and returns the initiator's observations. The network's
+// event engine drives the exchange; the virtual clock ends after the
+// aggregated reception.
+func (n *Network) RunConcurrentRound(initiator *Node, responders []*Node, cfg RoundConfig) (*RoundResult, error) {
+	if initiator == nil {
+		return nil, fmt.Errorf("sim: nil initiator")
+	}
+	if len(responders) == 0 {
+		return nil, fmt.Errorf("sim: no responders")
+	}
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	minDelay, err := airtime.MinResponseDelay(n.phy, cfg.InitPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ResponseDelay < minDelay {
+		return nil, fmt.Errorf("sim: response delay %g below the %g minimum (Sect. III)",
+			cfg.ResponseDelay, minDelay)
+	}
+
+	result := &RoundResult{
+		Shapes:              make(map[int]int, len(responders)),
+		Slots:               make(map[int]int, len(responders)),
+		TrueDistance:        make(map[int]float64, len(responders)),
+		TXQuantizationError: make(map[int]float64, len(responders)),
+	}
+	payloads := make(map[string]RespPayload, len(responders))
+	ids := make(map[string]int, len(responders))
+	var arrivals []dw1000.Arrival
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	t0 := n.Engine.Now() + 10e-6 // radio wake-up before the broadcast
+	if err := n.Engine.Schedule(t0, func() {
+		result.InitTXTimestamp = initiator.Radio.Now(t0)
+		n.emit(t0, initiator.Name, EventTXInit, "broadcast to %d responders", len(responders))
+		for _, resp := range responders {
+			resp := resp
+			taps, err := n.env.Realize(initiator.Pos, resp.Pos, n.rng)
+			if err != nil {
+				fail(fmt.Errorf("INIT to %s: %w", resp.Name, err))
+				return
+			}
+			rec, err := resp.Radio.Receive([]dw1000.Arrival{{
+				SourceID: initiator.Name,
+				TXTime:   t0,
+				Shape:    initiator.Radio.Shape(),
+				Taps:     taps,
+			}})
+			if err != nil {
+				fail(fmt.Errorf("INIT reception at %s: %w", resp.Name, err))
+				return
+			}
+			if err := n.Engine.Schedule(rec.LockedArrivalTime, func() {
+				n.emit(rec.LockedArrivalTime, resp.Name, EventRXInit,
+					"timestamp %d", rec.Timestamp)
+				n.respondConcurrent(initiator, resp, rec, cfg, result, payloads, ids, &arrivals, fail)
+			}); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	n.Engine.Run()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rec, err := initiator.Radio.Receive(arrivals)
+	if err != nil {
+		return nil, fmt.Errorf("aggregated reception: %w", err)
+	}
+	// Advance the virtual clock past the reception.
+	if err := n.Engine.Schedule(rec.LockedArrivalTime, func() {}); err == nil {
+		n.Engine.Run()
+	}
+	result.Reception = rec
+	decodedID, ok := ids[rec.LockedSourceID]
+	if !ok {
+		return nil, fmt.Errorf("sim: locked source %q has no payload", rec.LockedSourceID)
+	}
+	// The lock instant may precede already-traced later TX events (the
+	// first path arrives while later responders are still transmitting);
+	// stamp the reception events at the current virtual time to keep the
+	// timeline monotone.
+	emitTime := math.Max(rec.LockedArrivalTime, n.Engine.Now())
+	n.emit(emitTime, initiator.Name, EventRXAggregate,
+		"locked to %s among %d arrivals (first path %.3f µs)",
+		rec.LockedSourceID, len(arrivals), rec.LockedArrivalTime*1e6)
+	result.DecodedID = decodedID
+	result.Decoded = payloads[rec.LockedSourceID]
+	result.DecodeOK = cfg.Capture.Decode(arrivals, rec.LockedSourceID)
+	result.LockSIRdB = SIRdB(arrivals, rec.LockedSourceID)
+	n.emit(emitTime, initiator.Name, EventDecode,
+		"payload of %s: ok=%v (SIR %.1f dB)", rec.LockedSourceID, result.DecodeOK, result.LockSIRdB)
+	result.ClockRatio = 1
+	if cfg.DriftCompensation {
+		for _, resp := range responders {
+			if resp.Name == rec.LockedSourceID {
+				result.ClockRatio = initiator.Radio.EstimateClockRatio(resp.Radio.Clock())
+				break
+			}
+		}
+	}
+	for _, resp := range responders {
+		result.TrueDistance[resp.ID] = Distance(initiator, resp)
+	}
+	return result, nil
+}
+
+// respondConcurrent executes one responder's side of the protocol: delayed
+// transmission Δ_RESP (+ its RPM slot offset) after the INIT RMARKER, with
+// the DW1000 8 ns TX truncation, using its assigned pulse shape.
+func (n *Network) respondConcurrent(
+	initiator, resp *Node,
+	rec *dw1000.Reception,
+	cfg RoundConfig,
+	result *RoundResult,
+	payloads map[string]RespPayload,
+	ids map[string]int,
+	arrivals *[]dw1000.Arrival,
+	fail func(error),
+) {
+	// Anonymous operation (single slot, single shape — the plain Sect. IV
+	// scheme) does not constrain responder IDs; every responder uses slot
+	// 0 and the only shape.
+	slot, shapeIdx := 0, 0
+	if cfg.Plan.Capacity() > 1 {
+		var err error
+		slot, shapeIdx, err = cfg.Plan.Assign(resp.ID)
+		if err != nil {
+			fail(fmt.Errorf("responder %s: %w", resp.Name, err))
+			return
+		}
+	}
+	shape := cfg.Bank.Shape(shapeIdx)
+	if err := resp.Radio.SetPGDelay(shape.Register); err != nil {
+		fail(fmt.Errorf("responder %s: %w", resp.Name, err))
+		return
+	}
+	requested := rec.Timestamp.Add(cfg.ResponseDelay + cfg.Plan.ExtraDelay(slot))
+	var actual dw1000.DeviceTime
+	var simTX float64
+	if cfg.DisableTXQuantization {
+		actual = requested
+		simTX = resp.Radio.Clock().SimSeconds(requested.Seconds())
+	} else {
+		var err error
+		actual, simTX, err = resp.Radio.ScheduleDelayedTX(n.Engine.Now(), requested)
+		if err != nil {
+			fail(fmt.Errorf("responder %s: %w", resp.Name, err))
+			return
+		}
+	}
+	taps, err := n.env.Realize(resp.Pos, initiator.Pos, n.rng)
+	if err != nil {
+		fail(fmt.Errorf("RESP from %s: %w", resp.Name, err))
+		return
+	}
+	// Emit the TX event at its actual virtual time so traces stay ordered.
+	if n.trace != nil {
+		quant := requested.Sub(actual)
+		if err := n.Engine.Schedule(simTX, func() {
+			n.emit(simTX, resp.Name, EventTXResponse,
+				"slot %d shape s%d, quantization -%.2f ns", slot, shapeIdx+1, quant*1e9)
+		}); err != nil {
+			fail(err)
+			return
+		}
+	}
+	*arrivals = append(*arrivals, dw1000.Arrival{
+		SourceID: resp.Name,
+		TXTime:   simTX,
+		Shape:    resp.Radio.Shape(),
+		Taps:     taps,
+	})
+	payloads[resp.Name] = RespPayload{
+		SourceID: resp.ID,
+		RXInit:   rec.Timestamp,
+		TXResp:   actual,
+	}
+	ids[resp.Name] = resp.ID
+	result.Shapes[resp.ID] = shapeIdx
+	result.Slots[resp.ID] = slot
+	result.TXQuantizationError[resp.ID] = requested.Sub(actual)
+}
+
+// TWRDistance computes the Eq. 2 SS-TWR distance to the decoded responder
+// from the round's timestamps — the d_TWR anchor of the concurrent scheme.
+// When the round ran with drift compensation, the responder's turnaround
+// is rescaled by the estimated clock ratio.
+func (r *RoundResult) TWRDistance() float64 {
+	ratio := r.ClockRatio
+	if ratio == 0 {
+		ratio = 1
+	}
+	return core.TWRTimestampsDriftCompensated(r.InitTXTimestamp, r.Reception.Timestamp,
+		r.Decoded.RXInit, r.Decoded.TXResp, ratio)
+}
+
+// RunTWRExchange performs one classical single-sided two-way ranging
+// exchange (Fig. 3 left) between two nodes and returns the estimated
+// distance. The responder keeps its currently configured pulse shape when
+// bank is nil; otherwise it transmits with the bank's first shape.
+func (n *Network) RunTWRExchange(initiator, responder *Node, responseDelay float64, bank *pulse.Bank) (float64, error) {
+	if bank == nil {
+		var err error
+		bank, err = pulse.NewBank(dw1000.SampleInterval, responder.Radio.Config().PGDelay)
+		if err != nil {
+			return 0, err
+		}
+	}
+	result, err := n.RunConcurrentRound(initiator, []*Node{responder}, RoundConfig{
+		ResponseDelay: responseDelay,
+		Plan:          core.SingleSlot(1),
+		Bank:          bank,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return result.TWRDistance(), nil
+}

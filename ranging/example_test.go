@@ -1,0 +1,83 @@
+package ranging_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/uwb-sim/concurrent-ranging/ranging"
+)
+
+// The basic flow: place nodes, build the session, run one round.
+func ExampleScenario() {
+	sc := ranging.NewScenario(ranging.Config{
+		Environment:      ranging.EnvHallway,
+		Seed:             42,
+		NumShapes:        3,
+		IdealTransceiver: true,
+	})
+	sc.SetInitiator(2.0, 0.9)
+	sc.AddResponder(0, 5.0, 0.9)
+	sc.AddResponder(1, 8.0, 0.9)
+	sc.AddResponder(2, 12.0, 0.9)
+
+	session, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d messages for %d responders\n", result.MessagesOnAir, 3)
+	for _, m := range result.Measurements {
+		fmt.Printf("responder %d: %.1f m\n", m.ResponderID, m.Distance)
+	}
+	// Output:
+	// 4 messages for 3 responders
+	// responder 0: 3.0 m
+	// responder 1: 6.0 m
+	// responder 2: 10.0 m
+}
+
+// The combined scheme capacity follows Sect. VIII of the paper.
+func ExampleMaxSupportedResponders() {
+	for _, r := range []float64{75, 20} {
+		n, err := ranging.MaxSupportedResponders(r, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("r_max %.0f m, 3 shapes: %d responders\n", r, n)
+	}
+	// Output:
+	// r_max 75 m, 3 shapes: 12 responders
+	// r_max 20 m, 3 shapes: 45 responders
+}
+
+// Scenarios can be loaded from JSON configuration.
+func ExampleLoadScenario() {
+	const config = `{
+	  "config": {"environment": "hallway", "seed": 42, "numShapes": 3,
+	             "idealTransceiver": true},
+	  "initiator": {"x": 2.0, "y": 0.9},
+	  "responders": [
+	    {"id": 0, "x": 5.0, "y": 0.9},
+	    {"id": 1, "x": 8.0, "y": 0.9}
+	  ]
+	}`
+	sc, err := ranging.LoadScenario(strings.NewReader(config))
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anchor at %.1f m\n", result.AnchorDistance)
+	// Output:
+	// anchor at 3.0 m
+}

@@ -1,0 +1,160 @@
+package ranging
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDriftCompensationInPublicAPI(t *testing.T) {
+	run := func(compensate bool) float64 {
+		sc := NewScenario(Config{
+			Environment:       EnvOffice,
+			Seed:              61,
+			ClockOffsetPPM:    8,
+			DriftCompensation: compensate,
+			IdealTransceiver:  true,
+			Detector:          DetectorOptions{MaxResponses: 1},
+		})
+		sc.SetInitiator(1, 1)
+		sc.AddResponder(0, 6, 1)
+		session, err := sc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const rounds = 25
+		for i := 0; i < rounds; i++ {
+			res, err := session.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.AnchorDistance - 5
+		}
+		return sum / rounds
+	}
+	biased := run(false)
+	compensated := run(true)
+	// The two nodes draw random offsets within ±8 ppm; the realized
+	// relative offset at this seed biases SS-TWR by ~5 cm.
+	if math.Abs(biased) < 0.04 {
+		t.Fatalf("expected a visible drift bias, got %g m", biased)
+	}
+	if math.Abs(compensated) > 0.03 {
+		t.Fatalf("compensated bias %g m", compensated)
+	}
+	if math.Abs(compensated) >= math.Abs(biased) {
+		t.Fatal("compensation did not help")
+	}
+}
+
+func TestDecodeFailureSurfacesAsError(t *testing.T) {
+	// Nine equal-distance responders in free space: the locked payload
+	// drowns in interference.
+	sc := NewScenario(Config{
+		Environment:         EnvFreeSpace,
+		Seed:                63,
+		MaxRange:            75,
+		NumShapes:           3,
+		ModelDecodeFailures: true,
+	})
+	sc.SetInitiator(0, 0)
+	for id := 0; id < 9; id++ {
+		angle := float64(id) * 2 * math.Pi / 9
+		sc.AddResponder(id, 6*math.Cos(angle), 6*math.Sin(angle))
+	}
+	session, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = session.Run()
+	if !errors.Is(err, ErrDecodeFailed) {
+		t.Fatalf("want ErrDecodeFailed, got %v", err)
+	}
+}
+
+func TestDecodeSucceedsWithDominantAnchor(t *testing.T) {
+	sc := NewScenario(Config{
+		Environment:         EnvHallway,
+		Seed:                65,
+		NumShapes:           3,
+		ModelDecodeFailures: true,
+	})
+	sc.SetInitiator(2, 0.9)
+	sc.AddResponder(0, 5, 0.9)
+	sc.AddResponder(1, 10, 0.9)
+	sc.AddResponder(2, 14, 0.9)
+	session, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.Run(); err != nil {
+		t.Fatalf("dominant-anchor round failed to decode: %v", err)
+	}
+}
+
+func TestLocateRobustAgainstNLOSRange(t *testing.T) {
+	anchors := map[int]Position{
+		0: {0, 0}, 1: {10, 0}, 2: {10, 8}, 3: {0, 8}, 4: {5, 0},
+	}
+	truth := Position{4, 3}
+	var ms []Measurement
+	for id, a := range anchors {
+		d := math.Hypot(truth.X-a.X, truth.Y-a.Y)
+		if id == 4 {
+			d += 2.5 // NLOS-inflated range
+		}
+		ms = append(ms, Measurement{ResponderID: id, Distance: d})
+	}
+	plain, err := LocateFrom(ms, anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := LocateRobust(ms, anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainErr := math.Hypot(plain.X-truth.X, plain.Y-truth.Y)
+	robustErr := math.Hypot(robust.X-truth.X, robust.Y-truth.Y)
+	if robustErr > 0.05 {
+		t.Fatalf("robust fix error %g m", robustErr)
+	}
+	if robustErr >= plainErr {
+		t.Fatalf("robust (%g) not better than plain (%g)", robustErr, plainErr)
+	}
+}
+
+func TestSessionTracer(t *testing.T) {
+	sc := NewScenario(Config{Environment: EnvHallway, Seed: 71,
+		Detector: DetectorOptions{MaxResponses: 1}})
+	sc.SetInitiator(1, 0.9)
+	sc.AddResponder(0, 4, 0.9)
+	session, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	session.SetTracer(func(e TraceEvent) { events = append(events, e) })
+	if _, err := session.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("only %d trace events", len(events))
+	}
+	if events[0].Kind != "tx-init" {
+		t.Fatalf("first event %+v", events[0])
+	}
+	for _, e := range events {
+		if e.String() == "" {
+			t.Fatal("empty event rendering")
+		}
+	}
+	session.SetTracer(nil)
+	n := len(events)
+	if _, err := session.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != n {
+		t.Fatal("tracer fired after removal")
+	}
+}

@@ -1,0 +1,77 @@
+package ranging
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ScenarioFile is the JSON on-disk description of a deployment, consumed
+// by the crsim tool and usable by applications that store scenarios as
+// configuration.
+type ScenarioFile struct {
+	// Config holds the session options.
+	Config ConfigJSON `json:"config"`
+	// Initiator is the initiator position.
+	Initiator PositionJSON `json:"initiator"`
+	// Responders lists the responder nodes.
+	Responders []ResponderJSON `json:"responders"`
+}
+
+// ConfigJSON mirrors Config with JSON tags.
+type ConfigJSON struct {
+	Environment      string     `json:"environment,omitempty"`
+	Seed             uint64     `json:"seed,omitempty"`
+	MaxRangeM        float64    `json:"maxRangeMeters,omitempty"`
+	NumShapes        int        `json:"numShapes,omitempty"`
+	ResponseDelayUS  float64    `json:"responseDelayMicros,omitempty"`
+	IdealTransceiver bool       `json:"idealTransceiver,omitempty"`
+	ClockOffsetPPM   float64    `json:"clockOffsetPPM,omitempty"`
+	Obstacles        []Obstacle `json:"obstacles,omitempty"`
+}
+
+// PositionJSON is a JSON-tagged point in meters.
+type PositionJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// ResponderJSON is one responder entry.
+type ResponderJSON struct {
+	ID int     `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// LoadScenario reads a JSON scenario description and builds the Scenario.
+func LoadScenario(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f ScenarioFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("ranging: decode scenario: %w", err)
+	}
+	return f.Scenario()
+}
+
+// Scenario converts the file form into a builder.
+func (f *ScenarioFile) Scenario() (*Scenario, error) {
+	if len(f.Responders) == 0 {
+		return nil, fmt.Errorf("ranging: scenario file has no responders")
+	}
+	sc := NewScenario(Config{
+		Environment:      f.Config.Environment,
+		Seed:             f.Config.Seed,
+		MaxRange:         f.Config.MaxRangeM,
+		NumShapes:        f.Config.NumShapes,
+		ResponseDelay:    f.Config.ResponseDelayUS * 1e-6,
+		IdealTransceiver: f.Config.IdealTransceiver,
+		ClockOffsetPPM:   f.Config.ClockOffsetPPM,
+		Obstacles:        f.Config.Obstacles,
+	})
+	sc.SetInitiator(f.Initiator.X, f.Initiator.Y)
+	for _, r := range f.Responders {
+		sc.AddResponder(r.ID, r.X, r.Y)
+	}
+	return sc, nil
+}

@@ -1,0 +1,115 @@
+package ranging
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
+)
+
+func TestLoadScenarioRoundTrip(t *testing.T) {
+	const config = `{
+	  "config": {
+	    "environment": "office",
+	    "seed": 7,
+	    "maxRangeMeters": 75,
+	    "numShapes": 3,
+	    "responseDelayMicros": 290,
+	    "idealTransceiver": true,
+	    "obstacles": [{"X1": 5, "Y1": 0, "X2": 5, "Y2": 4, "LossDB": 10}]
+	  },
+	  "initiator": {"x": 1, "y": 1},
+	  "responders": [
+	    {"id": 0, "x": 4, "y": 1},
+	    {"id": 1, "x": 7, "y": 3}
+	  ]
+	}`
+	sc, err := LoadScenario(strings.NewReader(config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session.Capacity() != 12 {
+		t.Fatalf("capacity %d, want 12", session.Capacity())
+	}
+	if session.ResponseDelay() != 290e-6 {
+		t.Fatalf("Δ_RESP %g", session.ResponseDelay())
+	}
+	res, err := session.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measurements) < 2 {
+		t.Fatalf("%d measurements", len(res.Measurements))
+	}
+}
+
+func TestLoadScenarioErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"unknown field": `{"config": {"warpDrive": true}, "initiator": {"x":1,"y":1}, "responders": [{"id":0,"x":2,"y":2}]}`,
+		"no responders": `{"config": {}, "initiator": {"x":1,"y":1}, "responders": []}`,
+		"negative loss": `{"config": {"obstacles":[{"X1":0,"Y1":0,"X2":1,"Y2":1,"LossDB":-3}]}, "initiator": {"x":1,"y":1}, "responders": [{"id":0,"x":2,"y":2}]}`,
+	}
+	for name, cfg := range cases {
+		sc, err := LoadScenario(strings.NewReader(cfg))
+		if err == nil {
+			// Loss validation happens at Build time.
+			if _, err = sc.Build(); err == nil {
+				t.Errorf("%s: accepted", name)
+			}
+		}
+	}
+}
+
+func TestMoveInitiatorAndResponder(t *testing.T) {
+	sc := NewScenario(Config{Environment: EnvHallway, Seed: 3, IdealTransceiver: true,
+		Detector: DetectorOptions{MaxResponses: 1}})
+	sc.SetInitiator(1, 0.9)
+	sc.AddResponder(0, 4, 0.9)
+	session, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := session.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.AnchorDistance; d < 2.9 || d > 3.1 {
+		t.Fatalf("initial distance %g", d)
+	}
+	session.MoveInitiator(2, 0.9)
+	res, err = session.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.AnchorDistance; d < 1.9 || d > 2.1 {
+		t.Fatalf("after move: %g", d)
+	}
+	if err := session.MoveResponder(0, 8, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	res, err = session.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.AnchorDistance; d < 5.9 || d > 6.1 {
+		t.Fatalf("after responder move: %g", d)
+	}
+	if err := session.MoveResponder(99, 0, 0); err == nil {
+		t.Fatal("unknown responder accepted")
+	}
+	if td, err := session.TrueDistance(0); err != nil || td != 6 {
+		t.Fatalf("TrueDistance = %g, %v", td, err)
+	}
+}
+
+func TestNumPulseShapesMatchesBank(t *testing.T) {
+	if NumPulseShapes != pulse.NumShapes {
+		t.Fatalf("public constant %d out of sync with pulse.NumShapes %d",
+			NumPulseShapes, pulse.NumShapes)
+	}
+}

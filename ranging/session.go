@@ -1,0 +1,267 @@
+package ranging
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/core"
+	"github.com/uwb-sim/concurrent-ranging/internal/geom"
+	"github.com/uwb-sim/concurrent-ranging/internal/locate"
+	"github.com/uwb-sim/concurrent-ranging/internal/sim"
+)
+
+// Measurement is one per-responder ranging outcome.
+type Measurement struct {
+	// ResponderID is the decoded responder identity, or -1 in anonymous
+	// mode (single slot, single shape).
+	ResponderID int
+	// Distance is the estimated distance in meters.
+	Distance float64
+	// TrueDistance is the simulation ground truth in meters.
+	TrueDistance float64
+	// Slot and Shape are the decoded scheme coordinates.
+	Slot, Shape int
+	// Amplitude is the detected response amplitude (linear).
+	Amplitude float64
+	// Anchor marks the SS-TWR anchor responder.
+	Anchor bool
+}
+
+// Error returns the signed ranging error in meters (0 when the ground
+// truth is unknown, i.e. anonymous measurements that matched no truth).
+func (m Measurement) Error() float64 {
+	if m.TrueDistance == 0 {
+		return 0
+	}
+	return m.Distance - m.TrueDistance
+}
+
+// Result is the outcome of one concurrent-ranging round.
+type Result struct {
+	// Measurements holds one entry per resolved response, ordered by
+	// arrival.
+	Measurements []Measurement
+	// AnchorDistance is the Eq. 2 SS-TWR distance to the decoded
+	// responder.
+	AnchorDistance float64
+	// AnchorID is the decoded (locked) responder.
+	AnchorID int
+	// CIR is the estimated channel impulse response magnitude the round
+	// observed (one value per accumulator tap).
+	CIR []float64
+	// CIRSampleInterval is the CIR tap spacing in seconds.
+	CIRSampleInterval float64
+	// MessagesOnAir is the number of frames the round used (1 INIT +
+	// N responses — the paper's N-messages scaling).
+	MessagesOnAir int
+}
+
+// ErrDecodeFailed reports that the locked responder's payload did not
+// survive the interference of the other concurrent responses (only
+// possible with Config.ModelDecodeFailures); without the decoded
+// timestamps there is no d_TWR anchor and the round yields no distances.
+var ErrDecodeFailed = errors.New("ranging: concurrent payload decode failed")
+
+// Run executes one concurrent-ranging round: the initiator broadcasts
+// INIT, all responders answer simultaneously after Δ_RESP (+ their RPM
+// slot offsets), and the initiator extracts every responder's distance
+// from the single aggregated reception.
+func (s *Session) Run() (*Result, error) {
+	round, err := s.net.RunConcurrentRound(s.initiator, s.resps, s.roundCfg)
+	if err != nil {
+		return nil, err
+	}
+	if !round.DecodeOK {
+		return nil, fmt.Errorf("%w (lock SIR %.1f dB)", ErrDecodeFailed, round.LockSIRdB)
+	}
+	cir := round.Reception.CIR
+	responses, err := s.detector.Detect(cir.Taps, cir.EstimateNoiseRMS())
+	if err != nil {
+		return nil, err
+	}
+	if len(responses) == 0 {
+		return nil, fmt.Errorf("ranging: no responses detected in the CIR")
+	}
+	dTWR := round.TWRDistance()
+	anchorID := round.DecodedID
+	if s.plan.Capacity() == 1 {
+		anchorID = 0
+	}
+	ms, err := s.resolver.Resolve(responses, anchorID, dTWR)
+	if err != nil {
+		return nil, err
+	}
+	result := &Result{
+		Measurements:      make([]Measurement, 0, len(ms)),
+		AnchorDistance:    dTWR,
+		AnchorID:          round.DecodedID,
+		CIR:               cir.Magnitude(),
+		CIRSampleInterval: cir.SampleInterval,
+		MessagesOnAir:     1 + len(s.resps),
+	}
+	for _, m := range ms {
+		out := Measurement{
+			ResponderID: m.ID,
+			Distance:    m.Distance,
+			Slot:        m.Slot,
+			Shape:       m.Shape,
+			Amplitude:   cmplx.Abs(m.Amplitude),
+			Anchor:      m.Anchor,
+		}
+		if truth, ok := round.TrueDistance[m.ID]; ok {
+			out.TrueDistance = truth
+		} else if m.ID == -1 && m.Anchor {
+			out.TrueDistance = round.TrueDistance[round.DecodedID]
+		}
+		result.Measurements = append(result.Measurements, out)
+	}
+	return result, nil
+}
+
+// RunTWR performs one classical SS-TWR exchange with the given responder
+// and returns the estimated distance — the baseline the paper's Sect. V
+// precision experiment uses.
+func (s *Session) RunTWR(responderID int) (float64, error) {
+	node, err := s.responderNode(responderID)
+	if err != nil {
+		return 0, err
+	}
+	return s.net.RunTWRExchange(s.initiator, node, s.ResponseDelay(), s.bank)
+}
+
+func (s *Session) responderNode(id int) (*sim.Node, error) {
+	for _, n := range s.resps {
+		if n.ID == id {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("ranging: unknown responder ID %d", id)
+}
+
+// MoveInitiator repositions the initiator for subsequent rounds, so a
+// mobile node can be tracked across Run calls without rebuilding the
+// session (each round realizes a fresh channel for the new geometry).
+func (s *Session) MoveInitiator(x, y float64) {
+	s.initiator.Pos = geom.Point{X: x, Y: y}
+}
+
+// MoveResponder repositions a responder for subsequent rounds.
+func (s *Session) MoveResponder(id int, x, y float64) error {
+	node, err := s.responderNode(id)
+	if err != nil {
+		return err
+	}
+	node.Pos = geom.Point{X: x, Y: y}
+	return nil
+}
+
+// TrueDistance returns the geometric distance between the initiator and a
+// responder.
+func (s *Session) TrueDistance(responderID int) (float64, error) {
+	node, err := s.responderNode(responderID)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Distance(s.initiator, node), nil
+}
+
+// Position is a 2-D point in meters.
+type Position struct {
+	X, Y float64
+}
+
+// LocateFrom solves the initiator-side localization problem the paper
+// names as future work: given the responder (anchor) positions and the
+// measurements of one round, estimate where the measuring node is.
+func LocateFrom(measurements []Measurement, anchors map[int]Position) (Position, error) {
+	obs := rangeObservations(measurements, anchors)
+	res, err := locate.Solve(obs, locate.Config{})
+	if err != nil {
+		return Position{}, err
+	}
+	return Position{X: res.Position.X, Y: res.Position.Y}, nil
+}
+
+// LocateRobust is LocateFrom with Tukey-biweight outlier rejection: a
+// range inflated by non-line-of-sight propagation is down-weighted out of
+// the fix instead of dragging it. Requires at least four matched anchors.
+func LocateRobust(measurements []Measurement, anchors map[int]Position) (Position, error) {
+	obs := rangeObservations(measurements, anchors)
+	res, err := locate.SolveRobust(obs, locate.RobustConfig{})
+	if err != nil {
+		return Position{}, err
+	}
+	return Position{X: res.Position.X, Y: res.Position.Y}, nil
+}
+
+func rangeObservations(measurements []Measurement, anchors map[int]Position) []locate.RangeObservation {
+	obs := make([]locate.RangeObservation, 0, len(measurements))
+	for _, m := range measurements {
+		a, ok := anchors[m.ResponderID]
+		if !ok {
+			continue
+		}
+		obs = append(obs, locate.RangeObservation{
+			Anchor:   geom.Point{X: a.X, Y: a.Y},
+			Distance: m.Distance,
+		})
+	}
+	return obs
+}
+
+// ShapeRegister returns the TC_PGDELAY register value backing pulse-shape
+// index i of the session's bank, for diagnostics and documentation.
+func (s *Session) ShapeRegister(i int) (byte, error) {
+	if i < 0 || i >= s.bank.Len() {
+		return 0, fmt.Errorf("ranging: shape index %d outside bank of %d", i, s.bank.Len())
+	}
+	return s.bank.Shape(i).Register, nil
+}
+
+// MaxSupportedResponders reports the theoretical capacity of the combined
+// scheme for a maximum range (meters) and number of pulse shapes — the
+// paper's N_max = N_RPM · N_PS (Sect. VIII).
+func MaxSupportedResponders(maxRange float64, numShapes int) (int, error) {
+	plan, err := core.NewSlotPlan(maxRange, numShapes)
+	if err != nil {
+		return 0, err
+	}
+	return plan.Capacity(), nil
+}
+
+// NumPulseShapes is the number of usable DW1000 pulse shapes (Sect. V):
+// the TC_PGDELAY register values from 0x93 (the spectral-mask lower limit)
+// through 0xFE.
+const NumPulseShapes = 108
+
+// TraceEvent is one observable protocol step (frame transmissions,
+// receptions, lock and decode decisions) of the simulated exchanges.
+type TraceEvent struct {
+	// TimeSeconds is the virtual time of the event.
+	TimeSeconds float64
+	// Node names the acting node.
+	Node string
+	// Kind classifies the event: tx-init, rx-init, tx-resp, rx-aggregate,
+	// decode.
+	Kind string
+	// Detail is a human-readable elaboration.
+	Detail string
+}
+
+// String formats the event as a timeline line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%12.3f µs  %-10s %-12s %s", e.TimeSeconds*1e6, e.Node, e.Kind, e.Detail)
+}
+
+// SetTracer installs a callback receiving every protocol event of
+// subsequent Run/RunTWR calls; nil disables tracing.
+func (s *Session) SetTracer(fn func(TraceEvent)) {
+	if fn == nil {
+		s.net.SetTracer(nil)
+		return
+	}
+	s.net.SetTracer(func(e sim.TraceEvent) {
+		fn(TraceEvent{TimeSeconds: e.Time, Node: e.Node, Kind: e.Kind, Detail: e.Detail})
+	})
+}
