@@ -10,8 +10,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails (exit 1) when any file needs reformatting, so CI can gate on it;
+# `gofmt -l` alone always exits 0.
 fmt:
-	gofmt -l .
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$files" >&2; \
+		exit 1; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -260,6 +260,51 @@ func BenchmarkDetectorSearchAndSubtract(b *testing.B) {
 	}
 }
 
+// BenchmarkMatchedFilterBank1016 is the cached counterpart of
+// BenchmarkMatchedFilter1016: one shared forward FFT of the signal plus a
+// precomputed template spectrum per filter, the shape Detect uses per
+// search-and-subtract iteration.
+func BenchmarkMatchedFilterBank1016(b *testing.B) {
+	bank, err := pulse.DefaultBank(dw1000.SampleInterval, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	taps := benchCIR(b)
+	templates := make([][]complex128, bank.Len())
+	for t := range templates {
+		templates[t] = bank.Template(t)
+	}
+	fbank, err := dsp.NewMatchedFilterBank(templates, len(taps))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]complex128, len(taps))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fbank.Transform(taps); err != nil {
+			b.Fatal(err)
+		}
+		for t := range templates {
+			if _, err := fbank.FilterInto(dst, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkUpsamplePlan4x(b *testing.B) {
+	taps := benchCIR(b)
+	plan, err := dsp.NewUpsamplePlan(len(taps), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]complex128, plan.OutputLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Execute(dst, taps)
+	}
+}
+
 func BenchmarkMatchedFilter1016(b *testing.B) {
 	bank, err := pulse.DefaultBank(dw1000.SampleInterval, 1)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"math/cmplx"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/dsp"
+	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
 	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
 )
 
@@ -69,6 +70,12 @@ const (
 
 // Detector runs the paper's search-and-subtract algorithm with a bank of
 // matched-filter templates (one per candidate pulse shape).
+//
+// A Detector caches FFT plans, the conjugated matched-filter spectrum of
+// every template, and scratch buffers across Detect calls, so it is NOT
+// safe for concurrent use: give each goroutine its own Detector (see
+// NewDetector's cost note). Detection results do not depend on the cached
+// state — Detect is deterministic in its inputs.
 type Detector struct {
 	cfg       DetectorConfig
 	bank      *pulse.Bank
@@ -76,6 +83,17 @@ type Detector struct {
 	tsUp      float64 // up-sampled interval
 	templates [][]complex128
 	centers   []int
+
+	// Cached frequency-domain execution state for one CIR length
+	// (precomputed for dw1000.CIRLength, rebuilt if a caller detects on a
+	// different window) plus scratch reused across iterations.
+	cirLen   int
+	upsample *dsp.UpsamplePlan
+	fbank    *dsp.MatchedFilterBank
+	residual []complex128
+	up       []complex128
+	yBest    []complex128
+	yCur     []complex128
 }
 
 // NewDetector builds a detector for CIRs sampled at the bank's interval.
@@ -117,7 +135,41 @@ func NewDetector(bank *pulse.Bank, cfg DetectorConfig) (*Detector, error) {
 		d.templates[i] = tmpl
 		d.centers[i] = (len(tmpl) - 1) / 2
 	}
+	// Precompute the plans and template spectra for the DW1000 accumulator
+	// window, the CIR length every simulated reception produces. Detecting
+	// on a different window transparently rebuilds this state (ensureState),
+	// so NewDetector stays cheap to call in tests with short CIRs while the
+	// campaign hot path never plans twice.
+	if err := d.ensureState(dw1000.CIRLength); err != nil {
+		return nil, err
+	}
 	return d, nil
+}
+
+// ensureState (re)builds the cached frequency-domain execution state for
+// CIRs of n taps: the upsampling plan, the matched-filter bank holding
+// each template's spectrum at the convolution length implied by the
+// window, and the scratch buffers Detect reuses across iterations.
+func (d *Detector) ensureState(n int) error {
+	if n == d.cirLen {
+		return nil
+	}
+	up, err := dsp.NewUpsamplePlan(n, d.cfg.Upsample)
+	if err != nil {
+		return err
+	}
+	fbank, err := dsp.NewMatchedFilterBank(d.templates, n*d.cfg.Upsample)
+	if err != nil {
+		return err
+	}
+	d.cirLen = n
+	d.upsample = up
+	d.fbank = fbank
+	d.residual = make([]complex128, n)
+	d.up = make([]complex128, n*d.cfg.Upsample)
+	d.yBest = make([]complex128, n*d.cfg.Upsample)
+	d.yCur = make([]complex128, n*d.cfg.Upsample)
+	return nil
 }
 
 // Bank returns the detector's template bank.
@@ -145,7 +197,11 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		return nil, fmt.Errorf("core: noise RMS %g must be positive for thresholded detection", noiseRMS)
 	}
 	threshold := d.cfg.ThresholdFactor * noiseRMS
-	residual := dsp.Clone(taps)
+	if err := d.ensureState(len(taps)); err != nil {
+		return nil, err
+	}
+	residual := d.residual
+	copy(residual, taps)
 
 	var responses []Response
 	var extractedPos []float64 // peak positions already subtracted, in T_s samples
@@ -154,18 +210,26 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 			break
 		}
 		// Coarse search in the up-sampled domain (Sect. IV steps 1–3).
-		up, err := dsp.UpsampleFFT(residual, d.cfg.Upsample)
-		if err != nil {
+		// One forward FFT of the residual feeds every template's cached
+		// matched-filter spectrum; each template then costs one complex
+		// multiply pass plus one inverse FFT.
+		up := d.upsample.Execute(d.up, residual)
+		if err := d.fbank.Transform(up); err != nil {
 			return nil, err
 		}
 		bestIdx, bestTmpl := -1, -1
 		var bestY []complex128
 		var bestMag float64
 		for t := range d.templates {
-			y := dsp.MatchedFilter(up, d.templates[t])
+			y, err := d.fbank.FilterInto(d.yCur, t)
+			if err != nil {
+				return nil, err
+			}
 			idx, mag := d.maxOutsideSuppression(y, d.centers[t], extractedPos)
 			if idx >= 0 && mag > bestMag {
 				bestIdx, bestTmpl, bestMag, bestY = idx, t, mag, y
+				// Keep the winning output out of the next template's way.
+				d.yCur, d.yBest = d.yBest, d.yCur
 			}
 		}
 		if bestIdx < 0 {
@@ -332,14 +396,26 @@ func (d *Detector) refinePeak(residual []complex128, tmplIdx int, coarse float64
 // MatchedFilterOutputs returns |y_i| for every template against the given
 // CIR taps, in the up-sampled domain — the curves of the paper's Fig. 4b
 // and Fig. 6b. The second return value is the up-sampled tap spacing.
+// Like Detect it uses (and may rebuild) the cached plans, so it is not
+// safe to call concurrently with other methods.
 func (d *Detector) MatchedFilterOutputs(taps []complex128) ([][]float64, float64, error) {
-	up, err := dsp.UpsampleFFT(taps, d.cfg.Upsample)
-	if err != nil {
+	if len(taps) == 0 {
+		return nil, 0, fmt.Errorf("core: empty CIR")
+	}
+	if err := d.ensureState(len(taps)); err != nil {
+		return nil, 0, err
+	}
+	up := d.upsample.Execute(d.up, taps)
+	if err := d.fbank.Transform(up); err != nil {
 		return nil, 0, err
 	}
 	out := make([][]float64, len(d.templates))
 	for t := range d.templates {
-		out[t] = dsp.Abs(dsp.MatchedFilter(up, d.templates[t]))
+		y, err := d.fbank.FilterInto(d.yCur, t)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[t] = dsp.Abs(y)
 	}
 	return out, d.tsUp, nil
 }

@@ -16,10 +16,17 @@ func Convolve(a, b []complex128) []complex128 {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
-	if len(a)*len(b) <= convFFTThreshold {
+	if convolveUseDirect(len(a), len(b)) {
 		return convolveDirect(a, b)
 	}
 	return convolveFFT(a, b)
+}
+
+// convolveUseDirect decides the direct-vs-FFT routing for operand lengths
+// la, lb ≥ 1. The comparison is la·lb ≤ convFFTThreshold, phrased as a
+// division so the product cannot overflow int on large inputs.
+func convolveUseDirect(la, lb int) bool {
+	return la <= convFFTThreshold/lb
 }
 
 func convolveDirect(a, b []complex128) []complex128 {

@@ -50,6 +50,50 @@ func TestConvolveDirectMatchesFFT(t *testing.T) {
 	}
 }
 
+func TestConvolveThresholdDoesNotOverflow(t *testing.T) {
+	// The direct-vs-FFT routing compares len(a)·len(b) against the
+	// threshold; phrased as a product it overflows a 32-bit int for
+	// operand lengths whose product exceeds 2³¹ (66000² ≈ 4.4·10⁹) and
+	// could misroute giant inputs to the O(n·m) direct path. Convolving
+	// two shifted deltas of that size must take the FFT path (the direct
+	// path would not return in any reasonable time) and still produce the
+	// delta at the summed shift.
+	const n = 66000
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	const pa, pb = 123, 4567
+	a[pa] = 1
+	b[pb] = 1
+	if convolveUseDirect(n, n) {
+		t.Fatal("66000×66000 routed to the direct path")
+	}
+	out := Convolve(a, b)
+	if len(out) != 2*n-1 {
+		t.Fatalf("output length %d", len(out))
+	}
+	if !complexClose(out[pa+pb], 1, 1e-6) {
+		t.Fatalf("delta at %d = %v, want 1", pa+pb, out[pa+pb])
+	}
+	// The rest of the output is numerically zero.
+	out[pa+pb] = 0
+	if m := MaxAbs(out); m > 1e-6 {
+		t.Fatalf("spurious energy %g", m)
+	}
+}
+
+func TestConvolveUseDirectMatchesProductRule(t *testing.T) {
+	// For sizes where the product cannot overflow, the division form must
+	// agree exactly with the original product comparison.
+	for _, la := range []int{1, 2, 7, 100, 128, 129, 1000, 16384} {
+		for _, lb := range []int{1, 2, 7, 100, 128, 129, 1000, 16384} {
+			want := la*lb <= convFFTThreshold
+			if got := convolveUseDirect(la, lb); got != want {
+				t.Fatalf("(%d, %d): direct = %v, want %v", la, lb, got, want)
+			}
+		}
+	}
+}
+
 func TestConvolveCommutativeProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rand.New(rand.NewPCG(seed, 7))

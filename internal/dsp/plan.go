@@ -1,0 +1,546 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// This file implements plan-cached transforms for the detector hot path.
+// FFT, IFFT, UpsampleFFT and Convolve recompute bit-reversal permutations,
+// twiddle factors and (for non-power-of-two lengths) Bluestein chirp
+// spectra on every call; the plans below precompute all of it once for a
+// fixed length, FFTW-style, and reuse scratch buffers across executions.
+// Every planned transform produces bit-identical results to its plan-free
+// counterpart: the twiddle and chirp tables hold exactly the values the
+// on-the-fly recurrences generate, and the butterfly order is unchanged.
+//
+// Plans hold scratch state and are therefore NOT safe for concurrent use;
+// give each goroutine its own plan.
+
+// FFTPlan is a precomputed radix-2 Cooley–Tukey plan for one fixed
+// power-of-two length: the bit-reversal permutation, the per-stage twiddle
+// factors of both directions, and scratch buffers for the convolution
+// helpers.
+type FFTPlan struct {
+	n      int
+	swaps  [][2]int32
+	fwd    []complex128 // forward twiddles, one block of size/2 per stage
+	inv    []complex128 // inverse twiddles, same layout
+	fa, fb []complex128 // lazily sized scratch for ConvolveWith
+}
+
+// NewFFTPlan builds a plan for transforms of length n, which must be a
+// power of two (and at least 1).
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT plan length %d is not a power of two", n)
+	}
+	p := &FFTPlan{n: n}
+	if n == 1 {
+		return p, nil
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			p.swaps = append(p.swaps, [2]int32{int32(i), int32(j)})
+		}
+	}
+	p.fwd = twiddles(n, false)
+	p.inv = twiddles(n, true)
+	return p, nil
+}
+
+// twiddles generates the per-stage twiddle factors with the same recurrence
+// radix2 uses, so planned butterflies are bit-identical to unplanned ones.
+func twiddles(n int, inverse bool) []complex128 {
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	out := make([]complex128, 0, n-1)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := complex(math.Cos(step), math.Sin(step))
+		w := complex(1, 0)
+		for k := 0; k < half; k++ {
+			out = append(out, w)
+			w *= wBase
+		}
+	}
+	return out
+}
+
+// Len returns the transform length the plan was built for.
+func (p *FFTPlan) Len() int { return p.n }
+
+// Execute computes the in-place forward DFT of v, which must have the
+// plan's length.
+func (p *FFTPlan) Execute(v []complex128) {
+	p.mustLen(v)
+	p.transform(v, p.fwd)
+}
+
+// ExecuteInverse computes the in-place inverse DFT of v (including the 1/N
+// normalization), which must have the plan's length.
+func (p *FFTPlan) ExecuteInverse(v []complex128) {
+	p.mustLen(v)
+	p.transform(v, p.inv)
+	Scale(v, complex(1/float64(p.n), 0))
+}
+
+func (p *FFTPlan) mustLen(v []complex128) {
+	if len(v) != p.n {
+		panic(fmt.Sprintf("dsp: plan of length %d executed on %d samples", p.n, len(v)))
+	}
+}
+
+// transform runs the butterfly passes with a precomputed twiddle table; no
+// normalization is applied (the Bluestein driver needs the raw inverse).
+func (p *FFTPlan) transform(v []complex128, tw []complex128) {
+	n := p.n
+	if n <= 1 {
+		return
+	}
+	for _, s := range p.swaps {
+		v[s[0]], v[s[1]] = v[s[1]], v[s[0]]
+	}
+	off := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stage := tw[off : off+half]
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				a := v[start+k]
+				b := v[start+k+half] * stage[k]
+				v[start+k] = a + b
+				v[start+k+half] = a - b
+			}
+		}
+		off += half
+	}
+}
+
+// DFTPlan is a precomputed plan for one fixed, arbitrary transform length.
+// Powers of two run on an FFTPlan directly; other lengths run Bluestein's
+// algorithm with cached chirp factors, cached chirp-filter spectra and a
+// reusable scratch buffer. Like FFTPlan it is not safe for concurrent use.
+type DFTPlan struct {
+	n     int
+	radix *FFTPlan // power-of-two fast path (nil otherwise)
+
+	// Bluestein state for non-power-of-two lengths.
+	inner      *FFTPlan
+	wFwd, wInv []complex128 // chirp factors per direction
+	bFwd, bInv []complex128 // spectrum of the chirp filter per direction
+	scratch    []complex128
+}
+
+// NewDFTPlan builds a plan for transforms of length n ≥ 0.
+func NewDFTPlan(n int) (*DFTPlan, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dsp: negative DFT plan length %d", n)
+	}
+	p := &DFTPlan{n: n}
+	if n <= 1 {
+		return p, nil
+	}
+	if n&(n-1) == 0 {
+		p.radix, _ = NewFFTPlan(n)
+		return p, nil
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p.inner, _ = NewFFTPlan(m)
+	p.scratch = make([]complex128, m)
+	p.wFwd, p.bFwd = chirp(n, m, false)
+	p.wInv, p.bInv = chirp(n, m, true)
+	for _, b := range [][]complex128{p.bFwd, p.bInv} {
+		p.inner.transform(b, p.inner.fwd)
+	}
+	return p, nil
+}
+
+// chirp returns the Bluestein chirp factors w and the (time-domain) chirp
+// filter b of length m, exactly as bluestein computes them per call.
+func chirp(n, m int, inverse bool) (w, b []complex128) {
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	w = make([]complex128, n)
+	b = make([]complex128, m)
+	for k := 0; k < n; k++ {
+		ksq := (int64(k) * int64(k)) % int64(2*n)
+		phi := sign * math.Pi * float64(ksq) / float64(n)
+		w[k] = complex(math.Cos(phi), math.Sin(phi))
+		bk := complex(real(w[k]), -imag(w[k])) // conj(w[k])
+		b[k] = bk
+		if k > 0 {
+			b[m-k] = bk
+		}
+	}
+	return w, b
+}
+
+// Len returns the transform length the plan was built for.
+func (p *DFTPlan) Len() int { return p.n }
+
+// Execute computes the in-place forward DFT of v, which must have the
+// plan's length.
+func (p *DFTPlan) Execute(v []complex128) { p.transformDFT(v, false) }
+
+// ExecuteInverse computes the in-place inverse DFT of v (including the 1/N
+// normalization), which must have the plan's length.
+func (p *DFTPlan) ExecuteInverse(v []complex128) { p.transformDFT(v, true) }
+
+func (p *DFTPlan) transformDFT(v []complex128, inverse bool) {
+	if len(v) != p.n {
+		panic(fmt.Sprintf("dsp: plan of length %d executed on %d samples", p.n, len(v)))
+	}
+	n := p.n
+	if n <= 1 {
+		return
+	}
+	if p.radix != nil {
+		tw := p.radix.fwd
+		if inverse {
+			tw = p.radix.inv
+		}
+		p.radix.transform(v, tw)
+	} else {
+		w, bf := p.wFwd, p.bFwd
+		if inverse {
+			w, bf = p.wInv, p.bInv
+		}
+		a := p.scratch
+		clear(a)
+		for k := 0; k < n; k++ {
+			a[k] = v[k] * w[k]
+		}
+		p.inner.transform(a, p.inner.fwd)
+		for i := range a {
+			a[i] *= bf[i]
+		}
+		p.inner.transform(a, p.inner.inv)
+		invM := complex(1/float64(len(a)), 0)
+		for k := 0; k < n; k++ {
+			v[k] = a[k] * invM * w[k]
+		}
+	}
+	if inverse {
+		Scale(v, complex(1/float64(n), 0))
+	}
+}
+
+// UpsamplePlan is the plan-aware counterpart of UpsampleFFT for one fixed
+// input length and factor: the forward plan of the input length, the
+// inverse plan of the output length, and a spectrum scratch buffer. It is
+// not safe for concurrent use.
+type UpsamplePlan struct {
+	n, factor int
+	spec      *DFTPlan
+	up        *DFTPlan
+	specBuf   []complex128
+}
+
+// NewUpsamplePlan builds an upsampling plan for inputs of length n and the
+// given integer factor ≥ 1.
+func NewUpsamplePlan(n, factor int) (*UpsamplePlan, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dsp: negative upsample input length %d", n)
+	}
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: upsample factor %d < 1", factor)
+	}
+	p := &UpsamplePlan{n: n, factor: factor}
+	if factor == 1 || n == 0 {
+		return p, nil
+	}
+	var err error
+	if p.spec, err = NewDFTPlan(n); err != nil {
+		return nil, err
+	}
+	if p.up, err = NewDFTPlan(n * factor); err != nil {
+		return nil, err
+	}
+	p.specBuf = make([]complex128, n)
+	return p, nil
+}
+
+// InputLen and OutputLen return the planned signal lengths.
+func (p *UpsamplePlan) InputLen() int  { return p.n }
+func (p *UpsamplePlan) OutputLen() int { return p.n * p.factor }
+
+// Execute upsamples v (of the planned input length) into dst (of the
+// planned output length) and returns dst. The result is bit-identical to
+// UpsampleFFT(v, factor).
+func (p *UpsamplePlan) Execute(dst, v []complex128) []complex128 {
+	if len(v) != p.n || len(dst) != p.n*p.factor {
+		panic(fmt.Sprintf("dsp: upsample plan (%d → %d) executed on %d → %d samples",
+			p.n, p.n*p.factor, len(v), len(dst)))
+	}
+	if p.factor == 1 || p.n == 0 {
+		copy(dst, v)
+		return dst
+	}
+	n := p.n
+	spec := p.specBuf
+	copy(spec, v)
+	p.spec.Execute(spec)
+	clear(dst)
+	if n%2 == 0 {
+		half := n / 2
+		copy(dst[:half], spec[:half])
+		copy(dst[len(dst)-(half-1):], spec[half+1:])
+		// Split the Nyquist bin between the two halves so a real input
+		// stays real after interpolation.
+		nyq := spec[half] / 2
+		dst[half] = nyq
+		dst[len(dst)-half] = nyq
+	} else {
+		pos := (n + 1) / 2 // bins 0..(n-1)/2 are non-negative frequencies
+		copy(dst[:pos], spec[:pos])
+		copy(dst[len(dst)-(n-pos):], spec[pos:])
+	}
+	p.up.ExecuteInverse(dst)
+	Scale(dst, complex(float64(p.factor), 0))
+	return dst
+}
+
+// ConvolveWith is the plan-aware counterpart of Convolve: it writes the
+// full linear convolution of a and b into dst (which must have length
+// len(a)+len(b)-1) and returns dst. The plan length must be
+// NextPow2(len(dst)); small inputs take the same direct path Convolve
+// takes, so results are bit-identical. Either input being empty leaves dst
+// untouched and returns nil.
+func ConvolveWith(dst, a, b []complex128, p *FFTPlan) ([]complex128, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, nil
+	}
+	outLen := len(a) + len(b) - 1
+	if len(dst) != outLen {
+		return nil, fmt.Errorf("dsp: convolution needs %d output samples, got %d", outLen, len(dst))
+	}
+	if convolveUseDirect(len(a), len(b)) {
+		clear(dst)
+		for i, av := range a {
+			if av == 0 {
+				continue
+			}
+			for j, bv := range b {
+				dst[i+j] += av * bv
+			}
+		}
+		return dst, nil
+	}
+	m := NextPow2(outLen)
+	if p == nil || p.n != m {
+		return nil, fmt.Errorf("dsp: convolution of %d+%d samples needs a plan of length %d", len(a), len(b), m)
+	}
+	if cap(p.fa) < m {
+		p.fa = make([]complex128, m)
+		p.fb = make([]complex128, m)
+	}
+	fa, fb := p.fa[:m], p.fb[:m]
+	clear(fa)
+	clear(fb)
+	copy(fa, a)
+	copy(fb, b)
+	p.transform(fa, p.fwd)
+	p.transform(fb, p.fwd)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.transform(fa, p.inv)
+	Scale(fa, complex(1/float64(m), 0))
+	copy(dst, fa[:outLen])
+	return dst, nil
+}
+
+// MatchedFilterWith is the plan-aware counterpart of MatchedFilter: it
+// writes the matched-filter output (same alignment and length as r) into
+// dst and returns dst. The plan must cover the convolution length, i.e.
+// NextPow2(len(r)+2·(len(template)-1)). Results are bit-identical to
+// MatchedFilter(r, template).
+func MatchedFilterWith(dst, r, template []complex128, p *FFTPlan) ([]complex128, error) {
+	if len(r) == 0 || len(template) == 0 {
+		return nil, nil
+	}
+	if len(dst) != len(r) {
+		return nil, fmt.Errorf("dsp: matched filter needs %d output samples, got %d", len(r), len(dst))
+	}
+	taps := MatchedFilterTaps(template)
+	full := make([]complex128, len(taps)+len(r)-1)
+	if _, err := ConvolveWith(full, taps, r, p); err != nil {
+		return nil, err
+	}
+	start := len(template) - 1
+	clear(dst)
+	copy(dst, full[start:])
+	return dst, nil
+}
+
+// MatchedFilterBank precomputes the matched-filter spectra of a set of
+// templates for signals of one fixed length, so that filtering a signal
+// against every template costs one forward FFT per distinct convolution
+// size (usually exactly one), T complex multiplies and T inverse FFTs —
+// instead of 2T forward FFTs. Outputs are bit-identical to
+// MatchedFilter(sig, template[t]).
+//
+// Transform/FilterInto share internal scratch buffers; a bank is not safe
+// for concurrent use.
+type MatchedFilterBank struct {
+	sigLen int
+	tmpls  []bankTemplate
+	sizes  []int          // distinct FFT convolution sizes
+	plans  []*FFTPlan     // parallel to sizes
+	specs  [][]complex128 // parallel to sizes: spectrum of the current signal
+	sig    []complex128   // copy of the current signal (direct-path convolution)
+	full   []complex128   // scratch for the full convolution
+	ready  bool
+}
+
+type bankTemplate struct {
+	taps []complex128 // conjugated time-reversed template
+	spec []complex128 // FFT of zero-padded taps; nil on the direct path
+	m    int          // convolution FFT size (0 on the direct path)
+}
+
+// NewMatchedFilterBank builds a bank for the given templates and signal
+// length. Every template must be non-empty and sigLen positive.
+func NewMatchedFilterBank(templates [][]complex128, sigLen int) (*MatchedFilterBank, error) {
+	if sigLen < 1 {
+		return nil, fmt.Errorf("dsp: matched-filter bank needs a positive signal length, got %d", sigLen)
+	}
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("dsp: matched-filter bank needs at least one template")
+	}
+	b := &MatchedFilterBank{
+		sigLen: sigLen,
+		tmpls:  make([]bankTemplate, len(templates)),
+		sig:    make([]complex128, sigLen),
+	}
+	maxFull := 0
+	for i, t := range templates {
+		if len(t) == 0 {
+			return nil, fmt.Errorf("dsp: empty template %d", i)
+		}
+		taps := MatchedFilterTaps(t)
+		bt := bankTemplate{taps: taps}
+		outLen := len(taps) + sigLen - 1
+		maxFull = max(maxFull, outLen)
+		if !convolveUseDirect(len(taps), sigLen) {
+			maxFull = max(maxFull, NextPow2(outLen))
+			bt.m = NextPow2(outLen)
+			plan, err := b.planFor(bt.m)
+			if err != nil {
+				return nil, err
+			}
+			spec := make([]complex128, bt.m)
+			copy(spec, taps)
+			plan.transform(spec, plan.fwd)
+			bt.spec = spec
+		}
+		b.tmpls[i] = bt
+	}
+	b.full = make([]complex128, maxFull)
+	return b, nil
+}
+
+// planFor returns (building on demand) the shared plan for FFT size m,
+// along with a signal-spectrum buffer of the same size.
+func (b *MatchedFilterBank) planFor(m int) (*FFTPlan, error) {
+	for i, s := range b.sizes {
+		if s == m {
+			return b.plans[i], nil
+		}
+	}
+	p, err := NewFFTPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	b.sizes = append(b.sizes, m)
+	b.plans = append(b.plans, p)
+	b.specs = append(b.specs, make([]complex128, m))
+	return p, nil
+}
+
+// SignalLen returns the signal length the bank was built for.
+func (b *MatchedFilterBank) SignalLen() int { return b.sigLen }
+
+// NumTemplates returns the number of templates in the bank.
+func (b *MatchedFilterBank) NumTemplates() int { return len(b.tmpls) }
+
+// Transform ingests a signal of the bank's length: it computes the
+// signal's spectrum once per distinct convolution size. Subsequent
+// FilterInto calls reuse those spectra until the next Transform.
+func (b *MatchedFilterBank) Transform(sig []complex128) error {
+	if len(sig) != b.sigLen {
+		return fmt.Errorf("dsp: bank built for %d-sample signals, got %d", b.sigLen, len(sig))
+	}
+	copy(b.sig, sig)
+	for i, p := range b.plans {
+		spec := b.specs[i]
+		clear(spec)
+		copy(spec, sig)
+		p.transform(spec, p.fwd)
+	}
+	b.ready = true
+	return nil
+}
+
+// FilterInto writes the matched-filter output of template t against the
+// last Transform-ed signal into dst (length ≥ the bank's signal length)
+// and returns dst[:SignalLen()]. The output is bit-identical to
+// MatchedFilter(sig, template[t]).
+func (b *MatchedFilterBank) FilterInto(dst []complex128, t int) ([]complex128, error) {
+	if !b.ready {
+		return nil, fmt.Errorf("dsp: FilterInto before Transform")
+	}
+	if t < 0 || t >= len(b.tmpls) {
+		return nil, fmt.Errorf("dsp: template index %d outside bank of %d", t, len(b.tmpls))
+	}
+	if len(dst) < b.sigLen {
+		return nil, fmt.Errorf("dsp: bank output needs %d samples, got %d", b.sigLen, len(dst))
+	}
+	dst = dst[:b.sigLen]
+	bt := b.tmpls[t]
+	start := len(bt.taps) - 1
+	outLen := len(bt.taps) + b.sigLen - 1
+	if bt.spec == nil {
+		// Direct path, mirroring Convolve's small-input routing.
+		full := b.full[:outLen]
+		clear(full)
+		for i, av := range bt.taps {
+			if av == 0 {
+				continue
+			}
+			for j, bv := range b.sig {
+				full[i+j] += av * bv
+			}
+		}
+		copy(dst, full[start:])
+		return dst, nil
+	}
+	var plan *FFTPlan
+	var sigSpec []complex128
+	for i, s := range b.sizes {
+		if s == bt.m {
+			plan, sigSpec = b.plans[i], b.specs[i]
+			break
+		}
+	}
+	prod := b.full[:bt.m]
+	for i := range prod {
+		prod[i] = bt.spec[i] * sigSpec[i]
+	}
+	plan.transform(prod, plan.inv)
+	Scale(prod, complex(1/float64(bt.m), 0))
+	copy(dst, prod[start:outLen])
+	return dst, nil
+}

@@ -1,0 +1,246 @@
+package dsp
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// randComplex returns a deterministic pseudo-random complex vector.
+func randComplex(n int, seed uint64) []complex128 {
+	rng := rand.New(rand.NewPCG(seed, 29))
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+// equalExact fails unless got and want are bit-identical.
+func equalExact(t *testing.T, got, want []complex128, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: sample %d = %v, want %v", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewFFTPlanRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 12, 1016} {
+		if _, err := NewFFTPlan(n); err == nil {
+			t.Errorf("length %d accepted", n)
+		}
+	}
+}
+
+func TestFFTPlanMatchesFFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 64, 1024, 4096} {
+		p, err := NewFFTPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Len() != n {
+			t.Fatalf("Len = %d", p.Len())
+		}
+		v := randComplex(n, uint64(n))
+
+		got := Clone(v)
+		p.Execute(got)
+		equalExact(t, got, FFT(v), "forward")
+
+		got = Clone(v)
+		p.ExecuteInverse(got)
+		equalExact(t, got, IFFT(v), "inverse")
+
+		// Plans are reusable: a second pass must give the same answer.
+		got2 := Clone(v)
+		p.Execute(got2)
+		equalExact(t, got2, FFT(v), "forward reuse")
+	}
+}
+
+func TestDFTPlanMatchesFFTAllLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 12, 100, 127, 256, 1016} {
+		p, err := NewDFTPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := randComplex(n, uint64(n)+7)
+
+		got := Clone(v)
+		p.Execute(got)
+		equalExact(t, got, FFT(v), "forward")
+
+		got = Clone(v)
+		p.ExecuteInverse(got)
+		equalExact(t, got, IFFT(v), "inverse")
+
+		got2 := Clone(v)
+		p.Execute(got2)
+		equalExact(t, got2, FFT(v), "forward reuse")
+	}
+}
+
+func TestUpsamplePlanMatchesUpsampleFFT(t *testing.T) {
+	cases := []struct{ n, factor int }{
+		{1016, 4}, {1016, 8}, {128, 4}, {15, 3}, {64, 1}, {7, 2},
+	}
+	for _, c := range cases {
+		p, err := NewUpsamplePlan(c.n, c.factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.InputLen() != c.n || p.OutputLen() != c.n*c.factor {
+			t.Fatalf("plan lengths %d → %d", p.InputLen(), p.OutputLen())
+		}
+		v := randComplex(c.n, uint64(c.n*c.factor))
+		want, err := UpsampleFFT(v, c.factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]complex128, c.n*c.factor)
+		// Dirty the buffer: Execute must not depend on prior contents.
+		for i := range dst {
+			dst[i] = complex(999, -999)
+		}
+		equalExact(t, p.Execute(dst, v), want, "upsample")
+		equalExact(t, p.Execute(dst, v), want, "upsample reuse")
+	}
+}
+
+func TestNewUpsamplePlanRejectsBadFactor(t *testing.T) {
+	if _, err := NewUpsamplePlan(8, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	if _, err := NewUpsamplePlan(-1, 2); err == nil {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestConvolveWithMatchesConvolve(t *testing.T) {
+	cases := []struct{ la, lb int }{
+		{4, 5},     // direct path
+		{100, 100}, // direct path (10000 < threshold)
+		{64, 4000}, // FFT path
+		{37, 4064}, // the detector's template × up-sampled CIR shape
+	}
+	for _, c := range cases {
+		a := randComplex(c.la, uint64(c.la))
+		b := randComplex(c.lb, uint64(c.lb)+1)
+		want := Convolve(a, b)
+		var p *FFTPlan
+		if !convolveUseDirect(c.la, c.lb) {
+			var err error
+			if p, err = NewFFTPlan(NextPow2(c.la + c.lb - 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dst := make([]complex128, c.la+c.lb-1)
+		got, err := ConvolveWith(dst, a, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalExact(t, got, want, "convolution")
+	}
+}
+
+func TestConvolveWithErrors(t *testing.T) {
+	a := randComplex(64, 1)
+	b := randComplex(4000, 2)
+	if _, err := ConvolveWith(make([]complex128, 10), a, b, nil); err == nil {
+		t.Error("wrong destination length accepted")
+	}
+	if _, err := ConvolveWith(make([]complex128, 4063), a, b, nil); err == nil {
+		t.Error("missing plan accepted")
+	}
+	wrong, _ := NewFFTPlan(16)
+	if _, err := ConvolveWith(make([]complex128, 4063), a, b, wrong); err == nil {
+		t.Error("wrong plan length accepted")
+	}
+	if out, err := ConvolveWith(nil, nil, b, nil); out != nil || err != nil {
+		t.Error("empty input should yield nil, nil")
+	}
+}
+
+func TestMatchedFilterWithMatchesMatchedFilter(t *testing.T) {
+	r := randComplex(4064, 3)
+	tmpl := randComplex(37, 4)
+	want := MatchedFilter(r, tmpl)
+	p, err := NewFFTPlan(NextPow2(len(tmpl) + len(r) - 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]complex128, len(r))
+	got, err := MatchedFilterWith(dst, r, tmpl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalExact(t, got, want, "matched filter")
+}
+
+func TestMatchedFilterBankMatchesMatchedFilter(t *testing.T) {
+	const sigLen = 4064
+	templates := [][]complex128{
+		randComplex(37, 11),
+		randComplex(75, 12),
+		randComplex(97, 13),
+		randComplex(3, 14), // small enough for the direct path
+	}
+	bank, err := NewMatchedFilterBank(templates, sigLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bank.SignalLen() != sigLen || bank.NumTemplates() != len(templates) {
+		t.Fatalf("bank geometry %d/%d", bank.SignalLen(), bank.NumTemplates())
+	}
+	dst := make([]complex128, sigLen)
+	for round := 0; round < 2; round++ { // exercise buffer reuse across signals
+		sig := randComplex(sigLen, 20+uint64(round))
+		if err := bank.Transform(sig); err != nil {
+			t.Fatal(err)
+		}
+		for ti, tmpl := range templates {
+			want := MatchedFilter(sig, tmpl)
+			got, err := bank.FilterInto(dst, ti)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalExact(t, got, want, "bank output")
+		}
+	}
+}
+
+func TestMatchedFilterBankErrors(t *testing.T) {
+	if _, err := NewMatchedFilterBank(nil, 8); err == nil {
+		t.Error("empty bank accepted")
+	}
+	if _, err := NewMatchedFilterBank([][]complex128{{1}}, 0); err == nil {
+		t.Error("zero signal length accepted")
+	}
+	if _, err := NewMatchedFilterBank([][]complex128{{}}, 8); err == nil {
+		t.Error("empty template accepted")
+	}
+	bank, err := NewMatchedFilterBank([][]complex128{randComplex(4, 1)}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]complex128, 16)
+	if _, err := bank.FilterInto(dst, 0); err == nil {
+		t.Error("FilterInto before Transform accepted")
+	}
+	if err := bank.Transform(make([]complex128, 8)); err == nil {
+		t.Error("wrong signal length accepted")
+	}
+	if err := bank.Transform(make([]complex128, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bank.FilterInto(dst, 5); err == nil {
+		t.Error("template index out of range accepted")
+	}
+	if _, err := bank.FilterInto(make([]complex128, 2), 0); err == nil {
+		t.Error("short destination accepted")
+	}
+}

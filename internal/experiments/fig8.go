@@ -78,10 +78,8 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	det, err := core.NewDetector(bank, core.DetectorConfig{})
-	if err != nil {
-		return nil, err
-	}
+	// Per-worker detectors: a Detector's cached FFT plans and scratch
+	// buffers are not safe for concurrent use. The resolver is stateless.
 	resolver := &core.Resolver{Plan: plan}
 
 	res := &Fig8Result{
@@ -96,7 +94,10 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 		good []bool
 		errs []float64
 	}
-	outcomes, err := parallelMap(cfg.Trials, func(trial int) (trialOutcome, error) {
+	newWorker := func() (*core.Detector, error) {
+		return core.NewDetector(bank, core.DetectorConfig{})
+	}
+	outcomes, err := parallelMapWith(cfg.Trials, newWorker, func(det *core.Detector, trial int) (trialOutcome, error) {
 		net, err := sim.NewNetwork(sim.NetworkConfig{
 			Environment:      channel.Hallway(),
 			Seed:             cfg.Seed + uint64(trial)*2741,

@@ -1,20 +1,44 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
 
 // parallelMap runs fn for every index in [0, n) across a bounded worker
-// pool and returns the results in index order. The first error cancels
-// nothing (trials are cheap and independent) but is reported after all
-// workers finish, keeping the result slice deterministic. Every trial
-// must derive its randomness from its index — never from shared state —
-// so the parallel run is bit-identical to a sequential one.
+// pool and returns the results in index order. The first error (by trial
+// index, not completion order) is reported after all workers finish,
+// wrapped as "trial %d: ...", keeping the result slice deterministic. A
+// panicking trial is recovered into an error instead of killing the
+// process. Every trial must derive its randomness from its index — never
+// from shared state — so the parallel run is bit-identical to a
+// sequential one.
 func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallelMapWith(n,
+		func() (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// parallelMapWith is parallelMap with per-worker state: each worker
+// goroutine builds its own S once via newWorker and hands it to every
+// trial it runs. This is the natural home for values that are cheap to
+// build but not safe for concurrent use — above all a core.Detector,
+// whose cached FFT plans and scratch buffers must not be shared across
+// goroutines. Worker state must not influence results (trials still
+// derive everything from their index), so scheduling stays invisible.
+func parallelMapWith[S, T any](n int, newWorker func() (S, error), fn func(s S, i int) (T, error)) ([]T, error) {
 	workers := min(runtime.GOMAXPROCS(0), n)
 	if workers < 1 {
 		workers = 1
+	}
+	states := make([]S, workers)
+	for w := range states {
+		s, err := newWorker()
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", w, err)
+		}
+		states[w] = s
 	}
 	results := make([]T, n)
 	errs := make([]error, n)
@@ -22,22 +46,33 @@ func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(state S) {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = fn(i)
+				results[i], errs[i] = runTrial(state, i, fn)
 			}
-		}()
+		}(states[w])
 	}
 	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trial %d: %w", i, err)
 		}
 	}
 	return results, nil
+}
+
+// runTrial invokes one trial, converting a panic into an error so a
+// campaign reports which trial blew up instead of crashing the process.
+func runTrial[S, T any](state S, i int, fn func(s S, i int) (T, error)) (result T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn(state, i)
 }

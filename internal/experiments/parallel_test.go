@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMapOrdered(t *testing.T) {
+	got, err := parallelMap(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d", i, v)
+		}
+	}
+}
+
+func TestParallelMapWrapsErrorWithTrialIndex(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := parallelMap(50, func(i int) (int, error) {
+		if i == 17 || i == 31 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	// The FIRST failing trial by index is reported, deterministically.
+	if !strings.Contains(err.Error(), "trial 17:") {
+		t.Fatalf("error %q does not name trial 17", err)
+	}
+}
+
+func TestParallelMapRecoversPanic(t *testing.T) {
+	_, err := parallelMap(20, func(i int) (int, error) {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	if !strings.Contains(err.Error(), "trial 5:") || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("error %q does not describe the panicking trial", err)
+	}
+}
+
+func TestParallelMapWithPerWorkerState(t *testing.T) {
+	var built atomic.Int32
+	type state struct{ id int32 }
+	got, err := parallelMapWith(64,
+		func() (*state, error) { return &state{id: built.Add(1)}, nil },
+		func(s *state, i int) (int32, error) {
+			if s == nil || s.id == 0 {
+				t.Error("trial ran without worker state")
+			}
+			return s.id, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Load() < 1 {
+		t.Fatal("no worker state built")
+	}
+	for i, v := range got {
+		if v < 1 || v > built.Load() {
+			t.Fatalf("trial %d ran with unknown state %d", i, v)
+		}
+	}
+}
+
+func TestParallelMapWithWorkerBuildError(t *testing.T) {
+	sentinel := errors.New("no detector")
+	_, err := parallelMapWith(8,
+		func() (int, error) { return 0, sentinel },
+		func(s, i int) (int, error) { return 0, nil })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("worker build error lost: %v", err)
+	}
+}

@@ -60,10 +60,9 @@ func Sec6(cfg Sec6Config) (*Sec6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	det, err := core.NewDetector(bank, core.DetectorConfig{Upsample: 8})
-	if err != nil {
-		return nil, err
-	}
+	// The search-and-subtract detector caches FFT plans and scratch
+	// buffers, so each parallel worker gets its own instance; the
+	// threshold baseline is stateless and safely shared.
 	threshold := &core.ThresholdDetector{
 		Shape:          shape,
 		SampleInterval: dw1000.SampleInterval,
@@ -74,7 +73,10 @@ func Sec6(cfg Sec6Config) (*Sec6Result, error) {
 		offset      float64
 		ss, th      bool
 	}
-	outcomes, err := parallelMap(cfg.Trials, func(trial int) (trialOutcome, error) {
+	newWorker := func() (*core.Detector, error) {
+		return core.NewDetector(bank, core.DetectorConfig{Upsample: 8})
+	}
+	outcomes, err := parallelMapWith(cfg.Trials, newWorker, func(det *core.Detector, trial int) (trialOutcome, error) {
 		net, err := sim.NewNetwork(sim.NetworkConfig{
 			Environment:      channel.Hallway(),
 			Seed:             cfg.Seed + uint64(trial)*6151,

@@ -249,4 +249,30 @@ func TestMeasurementError(t *testing.T) {
 	if (Measurement{Distance: 3}).Error() != 0 {
 		t.Fatal("unknown truth must yield zero error")
 	}
+	// A responder co-located with the initiator has TrueDistance 0 but
+	// known ground truth: the error must not silently collapse to 0.
+	co := Measurement{Distance: 0.4, TrueDistance: 0, HasTruth: true}
+	if !closeTo(co.Error(), 0.4, 1e-12) {
+		t.Fatalf("co-located error %g, want 0.4", co.Error())
+	}
+}
+
+func TestRunSetsHasTruth(t *testing.T) {
+	sc := NewScenario(Config{Environment: EnvHallway, Seed: 31})
+	sc.SetInitiator(2, 1.2)
+	sc.AddResponder(0, 6, 1.2)
+	sc.AddResponder(1, 9, 1.2)
+	s, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range r.Measurements {
+		if m.ResponderID >= 0 && !m.HasTruth {
+			t.Errorf("responder %d: matched measurement without HasTruth", m.ResponderID)
+		}
+	}
 }

@@ -18,8 +18,14 @@ type Measurement struct {
 	ResponderID int
 	// Distance is the estimated distance in meters.
 	Distance float64
-	// TrueDistance is the simulation ground truth in meters.
+	// TrueDistance is the simulation ground truth in meters, valid only
+	// when HasTruth is set.
 	TrueDistance float64
+	// HasTruth reports whether TrueDistance carries actual ground truth.
+	// Without it a responder co-located with the initiator (true distance
+	// exactly 0) would be indistinguishable from an anonymous measurement
+	// that matched no truth.
+	HasTruth bool
 	// Slot and Shape are the decoded scheme coordinates.
 	Slot, Shape int
 	// Amplitude is the detected response amplitude (linear).
@@ -30,8 +36,11 @@ type Measurement struct {
 
 // Error returns the signed ranging error in meters (0 when the ground
 // truth is unknown, i.e. anonymous measurements that matched no truth).
+// Session.Run sets HasTruth on every matched measurement; a hand-built
+// Measurement without HasTruth keeps the legacy convention that a non-zero
+// TrueDistance implies known truth.
 func (m Measurement) Error() float64 {
-	if m.TrueDistance == 0 {
+	if !m.HasTruth && m.TrueDistance == 0 {
 		return 0
 	}
 	return m.Distance - m.TrueDistance
@@ -111,8 +120,12 @@ func (s *Session) Run() (*Result, error) {
 		}
 		if truth, ok := round.TrueDistance[m.ID]; ok {
 			out.TrueDistance = truth
+			out.HasTruth = true
 		} else if m.ID == -1 && m.Anchor {
-			out.TrueDistance = round.TrueDistance[round.DecodedID]
+			if truth, ok := round.TrueDistance[round.DecodedID]; ok {
+				out.TrueDistance = truth
+				out.HasTruth = true
+			}
 		}
 		result.Measurements = append(result.Measurements, out)
 	}
