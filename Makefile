@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test test-short bench repro fuzz vet fmt clean
+# repro pipes through tee; plain sh reports tee's exit status, swallowing a
+# crbench failure. bash + pipefail propagates it.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: all build test test-short bench repro smoke fuzz vet fmt clean
 
 all: build test
 
@@ -29,9 +34,17 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-# Regenerate every paper table and figure at full trial counts.
+# Regenerate every paper table and figure at full trial counts, plus the
+# machine-readable run report.
 repro:
-	$(GO) run ./cmd/crbench | tee results/crbench-seed1.txt
+	$(GO) run ./cmd/crbench -json results/crbench-seed1.json | tee results/crbench-seed1.txt
+	$(GO) run ./cmd/reportcheck results/crbench-seed1.json
+
+# Fast end-to-end check of the instrumented pipeline: a tiny run must
+# produce a valid, non-empty report.
+smoke:
+	$(GO) run ./cmd/crbench -trials 3 -json results/smoke-report.json sec5 campaign
+	$(GO) run ./cmd/reportcheck results/smoke-report.json
 
 fuzz:
 	$(GO) test ./internal/dsp -fuzz FuzzFFTRoundTrip -fuzztime 30s

@@ -4,22 +4,38 @@
 //
 // Usage:
 //
-//	crbench [-trials N] [-seed S] [experiment ...]
+//	crbench [-trials N] [-seed S] [-json path] [-progress] [-pprof addr] [experiment ...]
 //
 // Experiments: fig1 fig2 sec3 fig4 fig5 sec5 fig6 table1 sec6 sec7 fig8
-// sec8 campaign ablation. Running without arguments executes all of them. The
-// -trials flag scales the Monte-Carlo experiments: 0 keeps each
+// sec8 campaign capture ablation. Running without arguments executes all of
+// them. The -trials flag scales the Monte-Carlo experiments: 0 keeps each
 // experiment's paper-faithful default (e.g. 5000 SS-TWR operations for
 // Sect. V), smaller values give quick previews.
+//
+// Observability:
+//
+//   - -json path writes a machine-readable run report: per-experiment wall
+//     time and output size, the full metrics snapshot (detector diagnostics,
+//     simulator frame/collision counters, per-trial timing histograms), and
+//     Go runtime stats. The report is deterministic for a fixed seed and
+//     trial count once wall-time fields are stripped.
+//   - -progress streams live trial progress (done/total, ETA) to stderr.
+//   - -pprof addr serves net/http/pprof and expvar (/debug/vars exposes the
+//     metrics registry as "crmetrics") on the given address for the run's
+//     duration; use addr "localhost:0" for an ephemeral port.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/experiments"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 )
 
 type runner func(trials int, seed uint64) (string, error)
@@ -168,8 +184,11 @@ var order = []string{
 func main() {
 	trials := flag.Int("trials", 0, "Monte-Carlo trials per experiment (0 = paper-faithful defaults)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	jsonPath := flag.String("json", "", "write a machine-readable run report to this `path`")
+	progress := flag.Bool("progress", false, "stream live trial progress to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this `address`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: crbench [-trials N] [-seed S] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: crbench [-trials N] [-seed S] [-json path] [-progress] [-pprof addr] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s (default: all)\n", strings.Join(order, " "))
 		flag.PrintDefaults()
 	}
@@ -178,24 +197,150 @@ func main() {
 	if len(names) == 0 {
 		names = order
 	}
-	if err := run(names, *trials, *seed); err != nil {
+	cfg := runConfig{
+		Trials:    *trials,
+		Seed:      *seed,
+		JSONPath:  *jsonPath,
+		Progress:  *progress,
+		PprofAddr: *pprofAddr,
+		Stdout:    os.Stdout,
+		Stderr:    os.Stderr,
+	}
+	if _, err := run(names, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "crbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(names []string, trials int, seed uint64) error {
-	for _, name := range names {
+// runConfig collects the flag-derived settings so tests can drive run
+// without a process.
+type runConfig struct {
+	Trials    int
+	Seed      uint64
+	JSONPath  string
+	Progress  bool
+	PprofAddr string
+	Stdout    io.Writer
+	Stderr    io.Writer
+}
+
+// run executes the named experiments under full instrumentation and
+// returns the populated run report (also written to cfg.JSONPath when
+// set). Unknown names fail before any experiment does work.
+func run(names []string, cfg runConfig) (*obs.RunReport, error) {
+	selected := make([]runner, len(names))
+	for i, name := range names {
 		r, ok := runners[strings.ToLower(name)]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (have: %s)", name, strings.Join(order, " "))
+			return nil, fmt.Errorf("unknown experiment %q (have: %s)", name, strings.Join(order, " "))
 		}
-		out, err := r(trials, seed)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		fmt.Print(out)
-		fmt.Println()
+		selected[i] = r
 	}
-	return nil
+
+	reg := obs.NewRegistry()
+	if cfg.PprofAddr != "" {
+		addr, err := obs.ServeDebug(cfg.PprofAddr, reg)
+		if err != nil {
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(cfg.Stderr, "crbench: debug server on http://%s/debug/pprof/\n", addr)
+	}
+	printer := newProgressPrinter(cfg.Stderr, cfg.Progress)
+	experiments.SetInstrumentation(&experiments.Instrumentation{
+		Recorder: reg,
+		Progress: printer.update,
+	})
+	defer experiments.SetInstrumentation(nil)
+
+	report := obs.NewRunReport("crbench", cfg.Seed, cfg.Trials)
+	start := time.Now()
+	for i, name := range names {
+		printer.setLabel(name)
+		t0 := time.Now()
+		out, err := selected[i](cfg.Trials, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		printer.clear()
+		report.Experiments = append(report.Experiments, obs.ExperimentReport{
+			Name:        strings.ToLower(name),
+			WallSeconds: time.Since(t0).Seconds(),
+			OutputBytes: len(out),
+		})
+		fmt.Fprint(cfg.Stdout, out)
+		fmt.Fprintln(cfg.Stdout)
+	}
+	report.Finish(reg.Snapshot(), time.Since(start))
+	if err := report.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.JSONPath != "" {
+		if err := report.WriteFile(cfg.JSONPath); err != nil {
+			return nil, fmt.Errorf("writing report: %w", err)
+		}
+	}
+	return report, nil
+}
+
+// progressPrinter renders experiments.Progress updates as a single
+// rewritten stderr line, rate-limited so tight trial loops don't flood the
+// terminal. It is safe for concurrent use (campaign workers all report).
+type progressPrinter struct {
+	w       io.Writer
+	enabled bool
+
+	mu    sync.Mutex
+	label string
+	last  time.Time
+	dirty bool
+}
+
+func newProgressPrinter(w io.Writer, enabled bool) *progressPrinter {
+	return &progressPrinter{w: w, enabled: enabled}
+}
+
+// setLabel names the experiment shown alongside subsequent updates.
+func (p *progressPrinter) setLabel(name string) {
+	if !p.enabled {
+		return
+	}
+	p.mu.Lock()
+	p.label = name
+	p.last = time.Time{}
+	p.mu.Unlock()
+}
+
+// update implements experiments.ProgressFunc.
+func (p *progressPrinter) update(pr experiments.Progress) {
+	if !p.enabled {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// At most ~5 updates/s, but always show the final trial so the bar
+	// ends at 100%.
+	if pr.Done < pr.Total && time.Since(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.last = time.Now()
+	p.dirty = true
+	eta := ""
+	if pr.Remaining > 0 {
+		eta = fmt.Sprintf(" eta %s", pr.Remaining.Round(time.Second))
+	}
+	fmt.Fprintf(p.w, "\r\x1b[2K%s: %d/%d trials (%.0f%%)%s",
+		p.label, pr.Done, pr.Total, 100*float64(pr.Done)/float64(pr.Total), eta)
+}
+
+// clear ends the progress line before regular output resumes.
+func (p *progressPrinter) clear() {
+	if !p.enabled {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dirty {
+		fmt.Fprint(p.w, "\r\x1b[2K")
+		p.dirty = false
+	}
 }

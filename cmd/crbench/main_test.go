@@ -1,12 +1,23 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 )
 
+func testConfig(trials int, seed uint64) runConfig {
+	return runConfig{Trials: trials, Seed: seed, Stdout: io.Discard, Stderr: io.Discard}
+}
+
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	err := run([]string{"warpdrive"}, 1, 1)
+	_, err := run([]string{"warpdrive"}, testConfig(1, 1))
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("got %v", err)
 	}
@@ -23,10 +34,95 @@ func TestEveryListedExperimentHasARunner(t *testing.T) {
 	}
 }
 
+func TestPackageDocListsEveryExperiment(t *testing.T) {
+	// The doc comment's experiment list must track the order slice
+	// ("capture" was once missing from it).
+	data, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, found := strings.Cut(string(data), "package main")
+	if !found {
+		t.Fatal("no package clause in main.go")
+	}
+	for _, name := range order {
+		if !strings.Contains(doc, name) {
+			t.Errorf("package doc does not mention experiment %q", name)
+		}
+	}
+}
+
 func TestRunFastExperiments(t *testing.T) {
 	// The arithmetic-only experiments complete instantly and exercise the
 	// whole dispatch path.
-	if err := run([]string{"sec3", "sec7", "sec8", "fig5"}, 1, 1); err != nil {
+	report, err := run([]string{"sec3", "sec7", "sec8", "fig5"}, testConfig(1, 1))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(report.Experiments) != 4 {
+		t.Fatalf("%d experiment entries, want 4", len(report.Experiments))
+	}
+	for _, e := range report.Experiments {
+		if e.OutputBytes == 0 {
+			t.Errorf("experiment %s rendered no output", e.Name)
+		}
+	}
+}
+
+func TestRunWritesValidReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	cfg := testConfig(3, 1)
+	cfg.JSONPath = path
+	if _, err := run([]string{"sec5", "campaign"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	report, err := obs.ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if report.Tool != "crbench" || report.Trials != 3 || report.Seed != 1 {
+		t.Fatalf("report header %+v", report)
+	}
+	// The smoke pair must populate simulator counters and trial timing.
+	if got := report.Metrics.CounterValue("sim.frames_on_air"); got == 0 {
+		t.Error("sim.frames_on_air is zero")
+	}
+	if h, ok := report.Metrics.HistogramByName("experiments.trial_seconds"); !ok || h.Count == 0 {
+		t.Error("experiments.trial_seconds histogram missing or empty")
+	}
+}
+
+func TestReportDeterministicModuloWallTime(t *testing.T) {
+	once := func() []byte {
+		report, err := run([]string{"sec5", "campaign"}, testConfig(3, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(report.StripWallTime())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := once(), once()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("stripped reports differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestProgressPrinterWritesToSink(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig(4, 1)
+	cfg.Progress = true
+	cfg.Stderr = &buf
+	if _, err := run([]string{"sec5"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sec5") || !strings.Contains(out, "/12 trials") {
+		t.Fatalf("progress stream missing expected content: %q", out)
 	}
 }

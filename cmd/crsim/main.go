@@ -11,6 +11,10 @@
 // paper's Sect. VIII identifies every responder; otherwise ranging is
 // anonymous (Sect. IV). A JSON scenario file (see ranging.ScenarioFile)
 // replaces the geometry flags entirely.
+//
+// -pprof addr serves net/http/pprof and expvar on the given address
+// (/debug/vars exposes the session's metrics registry as "crmetrics") for
+// profiling long -rounds runs; addr "localhost:0" picks an ephemeral port.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 	"github.com/uwb-sim/concurrent-ranging/ranging"
 )
 
@@ -83,6 +88,7 @@ func run() error {
 	rounds := flag.Int("rounds", 1, "number of ranging rounds to run")
 	configPath := flag.String("config", "", "JSON scenario file (replaces the geometry flags)")
 	trace := flag.Bool("trace", false, "print the protocol event timeline of each round")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this `address`")
 	flag.Var(&resps, "resp", "responder as ID:x,y (repeatable)")
 	flag.Parse()
 
@@ -124,6 +130,15 @@ func run() error {
 	}
 	if *trace {
 		session.SetTracer(func(e ranging.TraceEvent) { fmt.Println("  " + e.String()) })
+	}
+	if *pprofAddr != "" {
+		reg := obs.NewRegistry()
+		session.SetRecorder(reg)
+		addr, err := obs.ServeDebug(*pprofAddr, reg)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "crsim: debug server on http://%s/debug/pprof/\n", addr)
 	}
 	fmt.Printf("%d responders, scheme capacity %d, Δ_RESP %.0f µs\n",
 		nResp, session.Capacity(), session.ResponseDelay()*1e6)

@@ -1,0 +1,75 @@
+// Command reportcheck validates a crbench -json run report: the file must
+// parse, satisfy the schema's structural invariants, and carry non-zero
+// values for the key fields a real run always produces. CI runs it against
+// a smoke-test report so a silently broken instrumentation path fails the
+// build instead of shipping empty reports.
+//
+// Usage:
+//
+//	reportcheck report.json [report2.json ...]
+//
+// Exit status 0 means every report is well-formed; any defect prints a
+// diagnostic and exits 1.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: reportcheck report.json [report2.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// check applies the structural Validate pass plus liveness checks: a run
+// that executed any simulation must have put frames on the air, timed its
+// trials, and taken non-zero wall time.
+func check(path string) error {
+	r, err := obs.ReadReportFile(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if r.WallSeconds <= 0 {
+		return fmt.Errorf("wall_seconds is %g, want > 0", r.WallSeconds)
+	}
+	if r.GoVersion == "" || r.NumCPU <= 0 {
+		return fmt.Errorf("host fields missing (go_version %q, num_cpu %d)", r.GoVersion, r.NumCPU)
+	}
+	// Liveness: every simulation-backed experiment transmits frames and
+	// times trials; a report with neither means the instrumentation was
+	// never wired through.
+	if frames := r.Metrics.CounterValue("sim.frames_on_air"); frames <= 0 {
+		return fmt.Errorf("sim.frames_on_air is %d, want > 0", frames)
+	}
+	if trials := r.Metrics.CounterValue("experiments.trials"); trials <= 0 {
+		return fmt.Errorf("experiments.trials is %d, want > 0", trials)
+	}
+	h, ok := r.Metrics.HistogramByName("experiments.trial_seconds")
+	if !ok || h.Count == 0 {
+		return fmt.Errorf("experiments.trial_seconds histogram missing or empty")
+	}
+	if h.Sum <= 0 {
+		return fmt.Errorf("experiments.trial_seconds sum is %g, want > 0", h.Sum)
+	}
+	return nil
+}

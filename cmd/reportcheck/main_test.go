@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+)
+
+// liveReport builds a report shaped like a real crbench smoke run.
+func liveReport() *obs.RunReport {
+	reg := obs.NewRegistry()
+	reg.Count("sim.frames_on_air", 42)
+	reg.Count("experiments.trials", 15)
+	reg.Observe("experiments.trial_seconds", 0.002)
+	r := obs.NewRunReport("crbench", 1, 3)
+	r.Experiments = []obs.ExperimentReport{{Name: "sec5", WallSeconds: 0.1, OutputBytes: 100}}
+	r.Finish(reg.Snapshot(), 120*time.Millisecond)
+	return r
+}
+
+func writeReport(t *testing.T, r *obs.RunReport) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckAcceptsLiveReport(t *testing.T) {
+	if err := check(writeReport(t, liveReport())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsDefects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*obs.RunReport)
+		want   string
+	}{
+		{"no experiments", func(r *obs.RunReport) { r.Experiments = nil }, "no experiments"},
+		{"zero wall time", func(r *obs.RunReport) { r.WallSeconds = 0 }, "wall_seconds"},
+		{"no frames", func(r *obs.RunReport) {
+			m := r.Metrics.Counters[:0]
+			for _, c := range r.Metrics.Counters {
+				if c.Name != "sim.frames_on_air" {
+					m = append(m, c)
+				}
+			}
+			r.Metrics.Counters = m
+		}, "sim.frames_on_air"},
+		{"no trial timing", func(r *obs.RunReport) { r.Metrics.Histograms = nil }, "trial_seconds"},
+		{"wrong schema", func(r *obs.RunReport) { r.Schema = 99 }, "schema"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := liveReport()
+			tc.mutate(r)
+			err := check(writeReport(t, r))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckRejectsGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err == nil {
+		t.Fatal("garbage file passed validation")
+	}
+	if err := check(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file passed validation")
+	}
+}

@@ -14,7 +14,36 @@ import (
 
 	"github.com/uwb-sim/concurrent-ranging/internal/dsp"
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
+)
+
+// Metric names the detector records through its Recorder. Histograms are
+// per-Detect distributions; counters accumulate across calls.
+const (
+	// MetricDetectCalls counts Detect invocations.
+	MetricDetectCalls = "detector.detect_calls"
+	// MetricDetectIterations is the per-call extraction-round count.
+	MetricDetectIterations = "detector.iterations"
+	// MetricDetectResponses is the per-call detected-response count.
+	MetricDetectResponses = "detector.responses"
+	// MetricDetectRefineSteps is the per-call total of golden-section
+	// refinement steps across all extracted responses.
+	MetricDetectRefineSteps = "detector.refine_steps"
+	// MetricDetectMarginDB is the per-response peak-to-threshold margin
+	// 20·log10(|α̂|/threshold); recorded only in thresholded mode.
+	MetricDetectMarginDB = "detector.margin_db"
+	// MetricDetectResidualFrac is the per-call residual-to-input energy
+	// ratio after the last subtraction.
+	MetricDetectResidualFrac = "detector.residual_energy_frac"
+	// MetricDetectTemplateEvals counts template-bank evaluations (one
+	// matched filtering of one template against one residual).
+	MetricDetectTemplateEvals = "detector.template_evals"
+	// MetricUpsampleExecs and the bank metrics surface the dsp plan-level
+	// execution counters.
+	MetricUpsampleExecs  = "dsp.upsample_execs"
+	MetricBankTransforms = "dsp.bank_transforms"
+	MetricBankFilters    = "dsp.bank_filters"
 )
 
 // Response is one detected responder pulse in the CIR.
@@ -94,7 +123,25 @@ type Detector struct {
 	up       []complex128
 	yBest    []complex128
 	yCur     []complex128
+
+	// rec is the optional instrumentation sink (nil = disabled, the
+	// default). lastUpsampleExecs/lastBankTransforms/lastBankFilters
+	// remember the dsp plan counters at the end of the previous recorded
+	// call so each Detect reports deltas.
+	rec               obs.Recorder
+	lastUpsampleExecs int64
+	lastBankXforms    int64
+	lastBankFilters   int64
 }
+
+// SetRecorder attaches an instrumentation sink; nil (the default)
+// disables recording. Recording is purely observational — detection
+// results are bit-identical with and without a recorder — and costs one
+// nil check per Detect when disabled. Like the rest of the detector the
+// recorder hookup is not synchronized: set it before sharing work out,
+// and give each goroutine its own Detector as usual (one concurrent-safe
+// Recorder may back many detectors).
+func (d *Detector) SetRecorder(r obs.Recorder) { d.rec = r }
 
 // NewDetector builds a detector for CIRs sampled at the bank's interval.
 func NewDetector(bank *pulse.Bank, cfg DetectorConfig) (*Detector, error) {
@@ -165,6 +212,7 @@ func (d *Detector) ensureState(n int) error {
 	d.cirLen = n
 	d.upsample = up
 	d.fbank = fbank
+	d.lastUpsampleExecs, d.lastBankXforms, d.lastBankFilters = 0, 0, 0
 	d.residual = make([]complex128, n)
 	d.up = make([]complex128, n*d.cfg.Upsample)
 	d.yBest = make([]complex128, n*d.cfg.Upsample)
@@ -203,12 +251,22 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 	residual := d.residual
 	copy(residual, taps)
 
+	// Instrumentation is observational only: the counters below never
+	// influence the search, and the energy tallies run only when a
+	// recorder is attached.
+	var inputEnergy float64
+	if d.rec != nil {
+		inputEnergy = dsp.Energy(taps)
+	}
+	rounds, refineSteps := 0, 0
+
 	var responses []Response
 	var extractedPos []float64 // peak positions already subtracted, in T_s samples
 	for iter := 0; iter < d.cfg.MaxIterations; iter++ {
 		if d.cfg.MaxResponses > 0 && len(responses) >= d.cfg.MaxResponses {
 			break
 		}
+		rounds++
 		// Coarse search in the up-sampled domain (Sect. IV steps 1–3).
 		// One forward FFT of the residual feeds every template's cached
 		// matched-filter spectrum; each template then costs one complex
@@ -256,7 +314,9 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		} else {
 			coarse := (float64(bestIdx) + interpolateComplexPeak(bestY, bestIdx) +
 				float64(d.centers[bestTmpl])) / float64(d.cfg.Upsample)
-			peakPos, alpha = d.refinePeak(residual, bestTmpl, coarse)
+			var steps int
+			peakPos, alpha, steps = d.refinePeak(residual, bestTmpl, coarse)
+			refineSteps += steps
 		}
 		if alpha == 0 {
 			break
@@ -274,7 +334,45 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		extractedPos = append(extractedPos, peakPos)
 	}
 	sortResponsesByDelay(responses)
+	if d.rec != nil {
+		d.recordDetect(responses, rounds, refineSteps, threshold, useThreshold, inputEnergy)
+	}
 	return responses, nil
+}
+
+// recordDetect emits one Detect call's worth of diagnostics. Only reached
+// with a non-nil recorder.
+func (d *Detector) recordDetect(responses []Response, rounds, refineSteps int,
+	threshold float64, useThreshold bool, inputEnergy float64) {
+	rec := d.rec
+	rec.Count(MetricDetectCalls, 1)
+	rec.Observe(MetricDetectIterations, float64(rounds))
+	rec.Observe(MetricDetectResponses, float64(len(responses)))
+	rec.Observe(MetricDetectRefineSteps, float64(refineSteps))
+	rec.Count(MetricDetectTemplateEvals, int64(rounds*len(d.templates)))
+	if useThreshold && threshold > 0 {
+		for _, r := range responses {
+			rec.Observe(MetricDetectMarginDB, 20*math.Log10(r.Magnitude()/threshold))
+		}
+	}
+	if inputEnergy > 0 {
+		rec.Observe(MetricDetectResidualFrac, dsp.Energy(d.residual)/inputEnergy)
+	}
+	// Surface the dsp plan execution counters as deltas since the last
+	// recorded call (ensureState resets the baselines when it rebuilds
+	// the plans).
+	if e := d.upsample.Execs(); e != d.lastUpsampleExecs {
+		rec.Count(MetricUpsampleExecs, e-d.lastUpsampleExecs)
+		d.lastUpsampleExecs = e
+	}
+	if x := d.fbank.Transforms(); x != d.lastBankXforms {
+		rec.Count(MetricBankTransforms, x-d.lastBankXforms)
+		d.lastBankXforms = x
+	}
+	if f := d.fbank.Filters(); f != d.lastBankFilters {
+		rec.Count(MetricBankFilters, f-d.lastBankFilters)
+		d.lastBankFilters = f
+	}
 }
 
 // suppressionRadius is how close (in CIR samples T_s) a new candidate
@@ -368,8 +466,9 @@ func (d *Detector) projectAmplitude(residual []complex128, tmplIdx int, peakPos 
 // refinePeak maximizes the projection score over the peak position (in
 // T_s samples) in a bracket of ±1 up-sampled sample around the coarse
 // estimate using a golden-section search, and returns the refined
-// position together with its least-squares amplitude.
-func (d *Detector) refinePeak(residual []complex128, tmplIdx int, coarse float64) (float64, complex128) {
+// position together with its least-squares amplitude and the number of
+// search steps taken (for the instrumentation layer).
+func (d *Detector) refinePeak(residual []complex128, tmplIdx int, coarse float64) (float64, complex128, int) {
 	const golden = 0.6180339887498949
 	half := 1 / float64(d.cfg.Upsample)
 	lo, hi := coarse-half, coarse+half
@@ -377,7 +476,9 @@ func (d *Detector) refinePeak(residual []complex128, tmplIdx int, coarse float64
 	x2 := lo + golden*(hi-lo)
 	_, f1 := d.projectAmplitude(residual, tmplIdx, x1)
 	_, f2 := d.projectAmplitude(residual, tmplIdx, x2)
+	steps := 0
 	for i := 0; i < 40 && hi-lo > 1e-7; i++ {
+		steps++
 		if f1 < f2 {
 			lo, x1, f1 = x1, x2, f2
 			x2 = lo + golden*(hi-lo)
@@ -390,7 +491,7 @@ func (d *Detector) refinePeak(residual []complex128, tmplIdx int, coarse float64
 	}
 	pos := (lo + hi) / 2
 	alpha, _ := d.projectAmplitude(residual, tmplIdx, pos)
-	return pos, alpha
+	return pos, alpha, steps
 }
 
 // MatchedFilterOutputs returns |y_i| for every template against the given

@@ -57,7 +57,7 @@ func goldenCIR(t *testing.T, pulses []goldenPulse, noiseRMS float64, seed uint64
 
 // goldenSimCIR regenerates the three-responder hallway reception the
 // micro-benchmarks use (seed 5), through the full radio model.
-func goldenSimCIR(t *testing.T) []complex128 {
+func goldenSimCIR(t testing.TB) []complex128 {
 	t.Helper()
 	net, err := sim.NewNetwork(sim.NetworkConfig{Environment: channel.Hallway(), Seed: 5})
 	if err != nil {

@@ -246,6 +246,7 @@ type UpsamplePlan struct {
 	spec      *DFTPlan
 	up        *DFTPlan
 	specBuf   []complex128
+	execs     int64
 }
 
 // NewUpsamplePlan builds an upsampling plan for inputs of length n and the
@@ -276,6 +277,11 @@ func NewUpsamplePlan(n, factor int) (*UpsamplePlan, error) {
 func (p *UpsamplePlan) InputLen() int  { return p.n }
 func (p *UpsamplePlan) OutputLen() int { return p.n * p.factor }
 
+// Execs returns the number of Execute calls since the plan was built —
+// plan-level observability for the instrumentation layer. Like the plan
+// itself the counter is single-goroutine.
+func (p *UpsamplePlan) Execs() int64 { return p.execs }
+
 // Execute upsamples v (of the planned input length) into dst (of the
 // planned output length) and returns dst. The result is bit-identical to
 // UpsampleFFT(v, factor).
@@ -284,6 +290,7 @@ func (p *UpsamplePlan) Execute(dst, v []complex128) []complex128 {
 		panic(fmt.Sprintf("dsp: upsample plan (%d → %d) executed on %d → %d samples",
 			p.n, p.n*p.factor, len(v), len(dst)))
 	}
+	p.execs++
 	if p.factor == 1 || p.n == 0 {
 		copy(dst, v)
 		return dst
@@ -403,6 +410,8 @@ type MatchedFilterBank struct {
 	sig    []complex128   // copy of the current signal (direct-path convolution)
 	full   []complex128   // scratch for the full convolution
 	ready  bool
+
+	transforms, filters int64 // execution counters (single-goroutine, like the bank)
 }
 
 type bankTemplate struct {
@@ -476,6 +485,12 @@ func (b *MatchedFilterBank) SignalLen() int { return b.sigLen }
 // NumTemplates returns the number of templates in the bank.
 func (b *MatchedFilterBank) NumTemplates() int { return len(b.tmpls) }
 
+// Transforms and Filters return how many signals were ingested and how
+// many template filterings ran since the bank was built — plan-level
+// observability for the instrumentation layer.
+func (b *MatchedFilterBank) Transforms() int64 { return b.transforms }
+func (b *MatchedFilterBank) Filters() int64    { return b.filters }
+
 // Transform ingests a signal of the bank's length: it computes the
 // signal's spectrum once per distinct convolution size. Subsequent
 // FilterInto calls reuse those spectra until the next Transform.
@@ -491,6 +506,7 @@ func (b *MatchedFilterBank) Transform(sig []complex128) error {
 		p.transform(spec, p.fwd)
 	}
 	b.ready = true
+	b.transforms++
 	return nil
 }
 
@@ -509,6 +525,7 @@ func (b *MatchedFilterBank) FilterInto(dst []complex128, t int) ([]complex128, e
 		return nil, fmt.Errorf("dsp: bank output needs %d samples, got %d", b.sigLen, len(dst))
 	}
 	dst = dst[:b.sigLen]
+	b.filters++
 	bt := b.tmpls[t]
 	start := len(bt.taps) - 1
 	outLen := len(bt.taps) + b.sigLen - 1

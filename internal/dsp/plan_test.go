@@ -244,3 +244,40 @@ func TestMatchedFilterBankErrors(t *testing.T) {
 		t.Error("short destination accepted")
 	}
 }
+
+func TestPlanExecutionCounters(t *testing.T) {
+	up, err := NewUpsamplePlan(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]complex128, 16)
+	out := make([]complex128, 64)
+	for i := 0; i < 3; i++ {
+		up.Execute(out, in)
+	}
+	if up.Execs() != 3 {
+		t.Errorf("upsample execs = %d, want 3", up.Execs())
+	}
+
+	bank, err := NewMatchedFilterBank([][]complex128{{1, 2}, {3}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]complex128, 16)
+	for i := 0; i < 2; i++ {
+		if err := bank.Transform(in); err != nil {
+			t.Fatal(err)
+		}
+		for tmpl := 0; tmpl < bank.NumTemplates(); tmpl++ {
+			if _, err := bank.FilterInto(dst, tmpl); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if bank.Transforms() != 2 {
+		t.Errorf("bank transforms = %d, want 2", bank.Transforms())
+	}
+	if bank.Filters() != 4 {
+		t.Errorf("bank filters = %d, want 4", bank.Filters())
+	}
+}

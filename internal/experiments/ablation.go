@@ -37,28 +37,36 @@ func AblationUpsample(trials int, seed uint64) (*AblationUpsampleResult, error) 
 		return nil, err
 	}
 	shape := bank.Shape(0)
+	m := newMeter(len(factors) * trials)
 	for _, factor := range factors {
 		det, err := core.NewDetector(bank, core.DetectorConfig{Upsample: factor})
 		if err != nil {
 			return nil, err
 		}
+		instrumentDetector(det)
 		var counter dsp.Counter
 		for trial := 0; trial < trials; trial++ {
-			round, err := overlapRound(4, seed+uint64(trial)*6151)
+			err := m.timeTrial(func() error {
+				round, err := overlapRound(4, seed+uint64(trial)*6151)
+				if err != nil {
+					return err
+				}
+				offset := math.Abs(round.TXQuantizationError[0] - round.TXQuantizationError[1])
+				if offset > shape.Duration() {
+					return nil
+				}
+				cir := round.Reception.CIR
+				refDelay := float64(dw1000.ReferenceIndex) * dw1000.SampleInterval
+				responses, err := det.Detect(cir.Taps, cir.NoiseRMS)
+				if err != nil {
+					return err
+				}
+				counter.Record(bothDetected(responses, []float64{refDelay, refDelay + offset}))
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			offset := math.Abs(round.TXQuantizationError[0] - round.TXQuantizationError[1])
-			if offset > shape.Duration() {
-				continue
-			}
-			cir := round.Reception.CIR
-			refDelay := float64(dw1000.ReferenceIndex) * dw1000.SampleInterval
-			responses, err := det.Detect(cir.Taps, cir.NoiseRMS)
-			if err != nil {
-				return nil, err
-			}
-			counter.Record(bothDetected(responses, []float64{refDelay, refDelay + offset}))
 		}
 		res.SuccessRate = append(res.SuccessRate, counter.Rate())
 	}
@@ -75,6 +83,7 @@ func overlapRound(distance float64, seed uint64) (*sim.RoundResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	instrumentNetwork(net)
 	init, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "initiator", Pos: geom.Point{X: 0.5, Y: 0.9}})
 	if err != nil {
 		return nil, err
@@ -192,6 +201,7 @@ func AblationThreshold(trials int, seed uint64) (*AblationThresholdResult, error
 		if err != nil {
 			return nil, err
 		}
+		instrumentDetector(det)
 		var miss dsp.Counter
 		var extra dsp.Running
 		for trial := 0; trial < trials; trial++ {
@@ -203,6 +213,7 @@ func AblationThreshold(trials int, seed uint64) (*AblationThresholdResult, error
 			if err != nil {
 				return nil, err
 			}
+			instrumentNetwork(net)
 			init, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "initiator", Pos: geom.Point{X: 2, Y: 0.9}})
 			if err != nil {
 				return nil, err

@@ -45,6 +45,7 @@ func AblationRefinement(trials int, seed uint64) (*AblationRefinementResult, err
 		if err != nil {
 			return nil, err
 		}
+		instrumentDetector(det)
 		var phantoms dsp.Running
 		var delayErr dsp.Running
 		for trial := 0; trial < trials; trial++ {
@@ -56,6 +57,7 @@ func AblationRefinement(trials int, seed uint64) (*AblationRefinementResult, err
 			if err != nil {
 				return nil, err
 			}
+			instrumentNetwork(net)
 			init, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "init", Pos: geom.Point{X: 0, Y: 0}})
 			if err != nil {
 				return nil, err
@@ -174,6 +176,7 @@ func slotPlanTrial(plan core.SlotPlan, spread float64, trials int, seed uint64) 
 	if err != nil {
 		return 0, err
 	}
+	instrumentDetector(det)
 	resolver := &core.Resolver{Plan: plan}
 	const responders = 6
 	var counter dsp.Counter
@@ -186,6 +189,7 @@ func slotPlanTrial(plan core.SlotPlan, spread float64, trials int, seed uint64) 
 		if err != nil {
 			return 0, err
 		}
+		instrumentNetwork(net)
 		init, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "init", Pos: geom.Point{X: 0.5, Y: 0.9}})
 		if err != nil {
 			return 0, err

@@ -35,6 +35,9 @@ func Campaign(sizes []int, seed uint64) (*CampaignResult, error) {
 		sizes = []int{3, 5, 8, 12}
 	}
 	res := &CampaignResult{N: sizes}
+	// Each network size runs two full campaigns (scheduled + concurrent);
+	// meter them as campaign units so progress still moves.
+	m := newMeter(2 * len(sizes))
 	for _, n := range sizes {
 		build := func(s uint64) (*sim.Network, []*sim.Node, error) {
 			net, err := sim.NewNetwork(sim.NetworkConfig{
@@ -44,6 +47,7 @@ func Campaign(sizes []int, seed uint64) (*CampaignResult, error) {
 			if err != nil {
 				return nil, nil, err
 			}
+			instrumentNetwork(net)
 			var nodes []*sim.Node
 			for i := 0; i < n; i++ {
 				id := i - 1 // node 0 is the initiator (ID -1)
@@ -62,16 +66,22 @@ func Campaign(sizes []int, seed uint64) (*CampaignResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sched, err := netA.RunScheduledCampaign(nodesA, 0, nil)
-		if err != nil {
+		var sched *sim.CampaignResult
+		if err := m.timeTrial(func() error {
+			sched, err = netA.RunScheduledCampaign(nodesA, 0, nil)
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		netB, nodesB, err := build(seed + uint64(n))
 		if err != nil {
 			return nil, err
 		}
-		conc, _, err := netB.RunConcurrentCampaign(nodesB[0], nodesB[1:], sim.RoundConfig{})
-		if err != nil {
+		var conc *sim.CampaignResult
+		if err := m.timeTrial(func() error {
+			conc, _, err = netB.RunConcurrentCampaign(nodesB[0], nodesB[1:], sim.RoundConfig{})
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		res.ScheduledDuration = append(res.ScheduledDuration, sched.Duration)

@@ -43,18 +43,25 @@ func Capture(trials int, seed uint64) (*CaptureResult, error) {
 	counts := []int{1, 2, 3, 5, 9}
 	res := &CaptureResult{Responders: counts, Trials: trials}
 	model := sim.DefaultCaptureModel()
+	m := newMeter(len(counts) * 2 * trials)
 	for _, n := range counts {
 		for _, equal := range []bool{false, true} {
 			var ok dsp.Counter
 			var sir dsp.Running
 			for trial := 0; trial < trials; trial++ {
-				round, err := captureRound(n, equal, model, seed+uint64(trial)*193+uint64(n))
+				err := m.timeTrial(func() error {
+					round, err := captureRound(n, equal, model, seed+uint64(trial)*193+uint64(n))
+					if err != nil {
+						return err
+					}
+					ok.Record(round.DecodeOK)
+					if !math.IsInf(round.LockSIRdB, 0) {
+						sir.Add(round.LockSIRdB)
+					}
+					return nil
+				})
 				if err != nil {
 					return nil, err
-				}
-				ok.Record(round.DecodeOK)
-				if !math.IsInf(round.LockSIRdB, 0) {
-					sir.Add(round.LockSIRdB)
 				}
 			}
 			if equal {
@@ -78,6 +85,7 @@ func captureRound(n int, equal bool, model *sim.CaptureModel, seed uint64) (*sim
 	if err != nil {
 		return nil, err
 	}
+	instrumentNetwork(net)
 	init, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "init", Pos: geom.Point{X: 0, Y: 0}})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/channel"
 	"github.com/uwb-sim/concurrent-ranging/internal/core"
@@ -68,6 +69,7 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	instrumentDetector(det)
 	res := &Fig4Result{
 		TrueDistances:    cfg.Distances,
 		MeanDistance:     make([]float64, len(cfg.Distances)),
@@ -78,7 +80,9 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 	stats := make([]dsp.Running, len(cfg.Distances))
 	found := make([]dsp.Counter, len(cfg.Distances))
 
+	m := newMeter(cfg.Trials)
 	for trial := 0; trial < cfg.Trials; trial++ {
+		t0 := time.Now()
 		net, err := sim.NewNetwork(sim.NetworkConfig{
 			Environment:      channel.Hallway(),
 			Seed:             cfg.Seed + uint64(trial)*7919,
@@ -87,6 +91,7 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		instrumentNetwork(net)
 		init, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "initiator", Pos: geom.Point{X: 2, Y: 0.9}})
 		if err != nil {
 			return nil, err
@@ -150,6 +155,7 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 				res.DetectedDelays = append(res.DetectedDelays, r.Delay*1e9)
 			}
 		}
+		m.trialDone(time.Since(t0))
 	}
 	for i := range stats {
 		res.MeanDistance[i] = stats[i].Mean()

@@ -27,6 +27,7 @@ func twoResponderRound(d1, d2 float64, shape1, shape2, nps, maxResponses int, se
 	if err != nil {
 		return nil, err
 	}
+	instrumentNetwork(net)
 	init, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "initiator", Pos: geom.Point{X: 0.5, Y: 0.9}})
 	if err != nil {
 		return nil, err
@@ -55,6 +56,7 @@ func twoResponderRound(d1, d2 float64, shape1, shape2, nps, maxResponses int, se
 	if err != nil {
 		return nil, err
 	}
+	instrumentDetector(det)
 	responses, err := det.Detect(round.Reception.CIR.Taps, round.Reception.CIR.NoiseRMS)
 	if err != nil {
 		return nil, err

@@ -95,7 +95,11 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 		errs []float64
 	}
 	newWorker := func() (*core.Detector, error) {
-		return core.NewDetector(bank, core.DetectorConfig{})
+		det, err := core.NewDetector(bank, core.DetectorConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return instrumentDetector(det), nil
 	}
 	outcomes, err := parallelMapWith(cfg.Trials, newWorker, func(det *core.Detector, trial int) (trialOutcome, error) {
 		net, err := sim.NewNetwork(sim.NetworkConfig{
@@ -106,6 +110,7 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 		if err != nil {
 			return trialOutcome{}, err
 		}
+		instrumentNetwork(net)
 		init, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "initiator", Pos: geom.Point{X: 1, Y: 0.9}})
 		if err != nil {
 			return trialOutcome{}, err

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/core"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/sim"
+)
+
+// Metric names the experiment harness records.
+const (
+	// MetricTrialSeconds is the per-trial wall time (a wall-time metric:
+	// reports strip it before determinism comparisons).
+	MetricTrialSeconds = "experiments.trial_seconds"
+	// MetricTrials counts completed Monte-Carlo trials.
+	MetricTrials = "experiments.trials"
+)
+
+// Progress is one campaign progress update.
+type Progress struct {
+	// Done and Total count trials (or campaign units) finished vs
+	// planned.
+	Done, Total int
+	// Elapsed is the wall time since the campaign started.
+	Elapsed time.Duration
+	// Remaining estimates the time to completion from the mean trial
+	// rate so far (0 until at least one trial finished).
+	Remaining time.Duration
+}
+
+// ProgressFunc receives progress updates. It may be called concurrently
+// from campaign workers and must be cheap; throttling and rendering are
+// the callback's business (crbench's printer rate-limits to a few updates
+// per second).
+type ProgressFunc func(Progress)
+
+// Instrumentation is the package-wide observability configuration:
+// a progress sink and a metrics recorder. Both are optional; the zero
+// value (or a nil *Instrumentation) disables everything.
+type Instrumentation struct {
+	// Progress, when non-nil, receives per-trial campaign progress.
+	Progress ProgressFunc
+	// Recorder, when non-nil, receives per-trial timing and is attached
+	// to every detector and network the experiments build. It must be
+	// safe for concurrent use (obs.Registry is).
+	Recorder obs.Recorder
+}
+
+// instr holds the installed instrumentation. Experiments are pure
+// functions of their configs; instrumentation is deliberately ambient so
+// the dozens of experiment entry points keep their signatures. Swaps are
+// atomic, so installing/clearing races at worst misses a few updates.
+var instr atomic.Pointer[Instrumentation]
+
+// SetInstrumentation installs the package instrumentation (nil disables).
+// Install before starting experiments; crbench does this once at startup.
+func SetInstrumentation(in *Instrumentation) { instr.Store(in) }
+
+// recorder returns the installed Recorder or nil.
+func recorder() obs.Recorder {
+	if in := instr.Load(); in != nil {
+		return in.Recorder
+	}
+	return nil
+}
+
+// instrumentDetector attaches the installed recorder (if any) to a
+// freshly built detector and returns it, so experiment code can wrap
+// core.NewDetector results in one call.
+func instrumentDetector(det *core.Detector) *core.Detector {
+	if rec := recorder(); rec != nil {
+		det.SetRecorder(rec)
+	}
+	return det
+}
+
+// instrumentNetwork attaches the installed recorder (if any) to a
+// freshly built network and returns it.
+func instrumentNetwork(net *sim.Network) *sim.Network {
+	if rec := recorder(); rec != nil {
+		net.SetRecorder(rec)
+	}
+	return net
+}
+
+// meter tracks one campaign's trial progress. A nil meter is inert, so
+// callers create one unconditionally and tick without guards; newMeter
+// returns nil when no instrumentation is installed.
+type meter struct {
+	total    int
+	done     atomic.Int64
+	start    time.Time
+	progress ProgressFunc
+	rec      obs.Recorder
+}
+
+// newMeter starts a campaign meter over total trials, or returns nil when
+// instrumentation is disabled.
+func newMeter(total int) *meter {
+	in := instr.Load()
+	if in == nil || (in.Progress == nil && in.Recorder == nil) {
+		return nil
+	}
+	return &meter{total: total, start: time.Now(), progress: in.Progress, rec: in.Recorder}
+}
+
+// trialDone records one finished trial of the given duration and pushes a
+// progress update. Safe for concurrent use; a nil meter does nothing.
+func (m *meter) trialDone(d time.Duration) {
+	if m == nil {
+		return
+	}
+	done := int(m.done.Add(1))
+	if m.rec != nil {
+		m.rec.Observe(MetricTrialSeconds, d.Seconds())
+		m.rec.Count(MetricTrials, 1)
+	}
+	if m.progress == nil {
+		return
+	}
+	elapsed := time.Since(m.start)
+	var remaining time.Duration
+	if done > 0 && done < m.total {
+		remaining = time.Duration(float64(elapsed) / float64(done) * float64(m.total-done))
+	}
+	m.progress(Progress{Done: done, Total: m.total, Elapsed: elapsed, Remaining: remaining})
+}
+
+// timeTrial runs one trial body under the meter's clock.
+func (m *meter) timeTrial(fn func() error) error {
+	if m == nil {
+		return fn()
+	}
+	t0 := time.Now()
+	err := fn()
+	m.trialDone(time.Since(t0))
+	return err
+}

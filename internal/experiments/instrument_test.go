@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/core"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/sim"
+)
+
+// withInstrumentation installs in for the duration of the test and
+// restores the disabled state afterwards. Tests using it must not run in
+// parallel with each other (the instrumentation is package-global).
+func withInstrumentation(t *testing.T, in *Instrumentation) {
+	t.Helper()
+	SetInstrumentation(in)
+	t.Cleanup(func() { SetInstrumentation(nil) })
+}
+
+func TestMeterDisabledIsNil(t *testing.T) {
+	SetInstrumentation(nil)
+	if m := newMeter(10); m != nil {
+		t.Fatal("newMeter must return nil with no instrumentation installed")
+	}
+	// A nil meter must be inert, not panic.
+	var m *meter
+	m.trialDone(0)
+	if err := m.timeTrial(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterRecordsTrialsAndProgress(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var updates []Progress
+	withInstrumentation(t, &Instrumentation{
+		Recorder: reg,
+		Progress: func(p Progress) {
+			mu.Lock()
+			updates = append(updates, p)
+			mu.Unlock()
+		},
+	})
+
+	const n = 7
+	_, err := parallelMap(n, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.CounterValue(MetricTrials); got != n {
+		t.Fatalf("%s = %d, want %d", MetricTrials, got, n)
+	}
+	h, ok := snap.HistogramByName(MetricTrialSeconds)
+	if !ok || h.Count != n {
+		t.Fatalf("%s histogram count = %+v, want %d observations", MetricTrialSeconds, h, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(updates) != n {
+		t.Fatalf("%d progress updates, want %d", len(updates), n)
+	}
+	// Done values are a permutation of 1..n (workers race), Total fixed,
+	// and the final update reports completion with zero remaining.
+	seen := map[int]bool{}
+	last := Progress{}
+	for _, p := range updates {
+		if p.Total != n || p.Done < 1 || p.Done > n || seen[p.Done] {
+			t.Fatalf("bad progress update %+v", p)
+		}
+		seen[p.Done] = true
+		if p.Done == n {
+			last = p
+		}
+	}
+	if last.Done != n || last.Remaining != 0 {
+		t.Fatalf("final update %+v, want Done=%d Remaining=0", last, n)
+	}
+}
+
+func TestInstrumentedExperimentsRecord(t *testing.T) {
+	// A tiny Sec5 + Campaign run — the crbench smoke pair — must populate
+	// trial timing and simulator counters through the ambient recorder.
+	reg := obs.NewRegistry()
+	withInstrumentation(t, &Instrumentation{Recorder: reg})
+
+	if _, err := Sec5(Sec5Config{Trials: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Campaign([]int{3}, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.CounterValue(MetricTrials); got != 3*5+2 {
+		t.Fatalf("%s = %d, want %d (3 shapes x 5 trials + 2 campaign units)",
+			MetricTrials, got, 3*5+2)
+	}
+	if got := snap.CounterValue(sim.MetricFramesOnAir); got == 0 {
+		t.Fatalf("%s = 0, want > 0", sim.MetricFramesOnAir)
+	}
+	if h, ok := snap.HistogramByName(MetricTrialSeconds); !ok || h.Count == 0 || h.Sum <= 0 {
+		t.Fatalf("%s not populated: %+v", MetricTrialSeconds, h)
+	}
+}
+
+func TestInstrumentationDoesNotChangeResults(t *testing.T) {
+	// The observation-only contract, end to end: a full experiment with
+	// instrumentation enabled returns bit-identical numbers.
+	run := func() *Fig4Result {
+		r, err := Fig4(Fig4Config{Trials: 3, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	SetInstrumentation(nil)
+	plain := run()
+	withInstrumentation(t, &Instrumentation{Recorder: obs.NewRegistry(), Progress: func(Progress) {}})
+	instrumented := run()
+
+	for i := range plain.MeanDistance {
+		if plain.MeanDistance[i] != instrumented.MeanDistance[i] ||
+			plain.StdDistance[i] != instrumented.StdDistance[i] ||
+			plain.PerResponderRate[i] != instrumented.PerResponderRate[i] {
+			t.Fatalf("instrumentation changed results at responder %d: %+v vs %+v",
+				i, plain, instrumented)
+		}
+	}
+}
+
+func TestInstrumentHelpersNilSafe(t *testing.T) {
+	SetInstrumentation(nil)
+	// With instrumentation off the helpers must pass values through
+	// untouched and never panic.
+	if det := instrumentDetector(&core.Detector{}); det == nil {
+		t.Fatal("instrumentDetector returned nil")
+	}
+	if net := instrumentNetwork(&sim.Network{}); net == nil {
+		t.Fatal("instrumentNetwork returned nil")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // parallelMap runs fn for every index in [0, n) across a bounded worker
@@ -27,6 +28,10 @@ func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 // whose cached FFT plans and scratch buffers must not be shared across
 // goroutines. Worker state must not influence results (trials still
 // derive everything from their index), so scheduling stays invisible.
+//
+// When instrumentation is installed (SetInstrumentation), every trial is
+// timed and ticks the campaign meter, driving per-trial metrics and the
+// ProgressFunc. With instrumentation off the timing branch is never taken.
 func parallelMapWith[S, T any](n int, newWorker func() (S, error), fn func(s S, i int) (T, error)) ([]T, error) {
 	workers := min(runtime.GOMAXPROCS(0), n)
 	if workers < 1 {
@@ -40,6 +45,7 @@ func parallelMapWith[S, T any](n int, newWorker func() (S, error), fn func(s S, 
 		}
 		states[w] = s
 	}
+	m := newMeter(n)
 	results := make([]T, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -49,7 +55,13 @@ func parallelMapWith[S, T any](n int, newWorker func() (S, error), fn func(s S, 
 		go func(state S) {
 			defer wg.Done()
 			for i := range next {
+				if m == nil {
+					results[i], errs[i] = runTrial(state, i, fn)
+					continue
+				}
+				t0 := time.Now()
 				results[i], errs[i] = runTrial(state, i, fn)
+				m.trialDone(time.Since(t0))
 			}
 		}(states[w])
 	}

@@ -49,6 +49,7 @@ func Sec5(cfg Sec5Config) (*Sec5Result, error) {
 	}
 	regs := []byte{pulse.RegisterS1, pulse.RegisterS2, pulse.RegisterS3}
 	res := &Sec5Result{Registers: regs, Trials: cfg.Trials}
+	m := newMeter(len(regs) * cfg.Trials)
 	for i, reg := range regs {
 		net, err := sim.NewNetwork(sim.NetworkConfig{
 			Environment: channel.Office(),
@@ -57,6 +58,7 @@ func Sec5(cfg Sec5Config) (*Sec5Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		instrumentNetwork(net)
 		a, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "init", Pos: geom.Point{X: 1, Y: 1}})
 		if err != nil {
 			return nil, err
@@ -72,11 +74,17 @@ func Sec5(cfg Sec5Config) (*Sec5Result, error) {
 		}
 		var stats dsp.Running
 		for trial := 0; trial < cfg.Trials; trial++ {
-			d, err := net.RunTWRExchange(a, b, 290e-6, bank)
+			err := m.timeTrial(func() error {
+				d, err := net.RunTWRExchange(a, b, 290e-6, bank)
+				if err != nil {
+					return err
+				}
+				stats.Add(d - cfg.Distance)
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			stats.Add(d - cfg.Distance)
 		}
 		res.Sigma = append(res.Sigma, stats.StdDev())
 		res.MeanError = append(res.MeanError, stats.Mean())

@@ -74,7 +74,11 @@ func Sec6(cfg Sec6Config) (*Sec6Result, error) {
 		ss, th      bool
 	}
 	newWorker := func() (*core.Detector, error) {
-		return core.NewDetector(bank, core.DetectorConfig{Upsample: 8})
+		det, err := core.NewDetector(bank, core.DetectorConfig{Upsample: 8})
+		if err != nil {
+			return nil, err
+		}
+		return instrumentDetector(det), nil
 	}
 	outcomes, err := parallelMapWith(cfg.Trials, newWorker, func(det *core.Detector, trial int) (trialOutcome, error) {
 		net, err := sim.NewNetwork(sim.NetworkConfig{
@@ -85,6 +89,7 @@ func Sec6(cfg Sec6Config) (*Sec6Result, error) {
 		if err != nil {
 			return trialOutcome{}, err
 		}
+		instrumentNetwork(net)
 		init, err := net.AddNode(sim.NodeConfig{ID: -1, Name: "initiator", Pos: geom.Point{X: 0.5, Y: 0.9}})
 		if err != nil {
 			return trialOutcome{}, err

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar name: expvar.Publish panics on
+// a duplicate, and tests (or a tool serving two registries) may call
+// PublishExpvar more than once.
+var (
+	expvarOnce sync.Once
+	expvarReg  *Registry
+	expvarMu   sync.Mutex
+)
+
+// PublishExpvar exposes the registry's live snapshot as the expvar
+// variable "crmetrics" (alongside the standard memstats/cmdline vars).
+// Later calls rebind the variable to the new registry.
+func PublishExpvar(reg *Registry) {
+	expvarMu.Lock()
+	expvarReg = reg
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("crmetrics", expvar.Func(func() any {
+			expvarMu.Lock()
+			r := expvarReg
+			expvarMu.Unlock()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof under
+// /debug/pprof/ and expvar (including the registry via PublishExpvar)
+// under /debug/vars. It returns the bound address — pass ":0" to pick a
+// free port — and serves until the process exits. The server runs on its
+// own mux, so nothing leaks into http.DefaultServeMux.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	if reg != nil {
+		PublishExpvar(reg)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux) //nolint:errcheck // serves for the process lifetime
+	return ln.Addr().String(), nil
+}

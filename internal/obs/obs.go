@@ -1,0 +1,144 @@
+// Package obs is the repository's zero-dependency instrumentation layer:
+// counters, gauges, and fixed-bucket histograms with a consistent snapshot
+// API, a Registry that names and aggregates them, and the Recorder
+// interface the rest of the stack records through.
+//
+// The design goal is that instrumentation is *free when disabled and inert
+// when enabled*: every instrumented component holds a Recorder and guards
+// each recording site with a single nil check, and recording never feeds
+// back into the computation — detection results, simulated receptions, and
+// experiment outputs are bit-identical with or without a Recorder
+// attached. All types are safe for concurrent use, so one Registry can
+// collect from every worker of a parallel Monte-Carlo campaign.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing (well-behaved callers only add
+// non-negative deltas) concurrent-safe counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a concurrent-safe last-value-wins float64 cell.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value (zero for a fresh gauge).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates float64 observations into fixed buckets chosen at
+// construction time, alongside exact count, sum, min, and max. Bucket i
+// counts observations v with v <= bounds[i]; one implicit overflow bucket
+// counts the rest, mirroring the usual cumulative-export convention
+// without requiring +Inf in the bounds slice.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last = overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // CAS-updated float64 sum
+	minBits atomic.Uint64 // CAS-updated; valid only when count > 0
+	maxBits atomic.Uint64
+}
+
+// DefaultBuckets is a 1–2–5 log series from 1e-6 to 1e6, wide enough for
+// the quantities this repo observes (iteration counts, dB margins, energy
+// fractions, per-trial seconds) at roughly half-decade resolution.
+func DefaultBuckets() []float64 {
+	var b []float64
+	for exp := -6; exp <= 5; exp++ {
+		scale := math.Pow(10, float64(exp))
+		b = append(b, 1*scale, 2*scale, 5*scale)
+	}
+	return append(b, 1e6)
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds. Nil or empty bounds select DefaultBuckets. The bounds slice is
+// copied.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets()
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	h := &Histogram{
+		bounds:  own,
+		buckets: make([]atomic.Int64, len(own)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.bounds) // overflow
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func atomicAddFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("fresh gauge = %g", g.Value())
+	}
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("gauge = %g, want -2.5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-556.5) > 1e-12 {
+		t.Fatalf("sum = %g, want 556.5", got)
+	}
+	s := h.snapshot("h")
+	if *s.Min != 0.5 || *s.Max != 500 {
+		t.Fatalf("min/max = %g/%g, want 0.5/500", *s.Min, *s.Max)
+	}
+	// v <= bound is inclusive: 0.5 and 1 land in the first bucket.
+	want := []Bucket{
+		{UpperBound: 1, Count: 2},
+		{UpperBound: 10, Count: 1},
+		{UpperBound: 100, Count: 1},
+		{Overflow: true, Count: 1},
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestHistogramEmptySnapshotOmitsMinMax(t *testing.T) {
+	s := NewHistogram(nil).snapshot("empty")
+	if s.Min != nil || s.Max != nil || s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestDefaultBucketsAscending(t *testing.T) {
+	b := DefaultBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bucket bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(w + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	// Sum of 500*(1+2+...+8) = 500*36.
+	if got := h.Sum(); math.Abs(got-18000) > 1e-9 {
+		t.Fatalf("sum = %g, want 18000", got)
+	}
+}

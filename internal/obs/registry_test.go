@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRecorderRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	var rec Recorder = reg // *Registry satisfies Recorder
+	rec.Count("sim.frames", 3)
+	rec.Count("sim.frames", 2)
+	rec.Observe("detector.iterations", 4)
+	rec.SetGauge("campaign.workers", 8)
+
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("sim.frames"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	h, ok := snap.HistogramByName("detector.iterations")
+	if !ok || h.Count != 1 || h.Sum != 4 {
+		t.Fatalf("histogram = %+v ok=%v", h, ok)
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 8 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"zz", "aa", "mm"} {
+		reg.Count(name, 1)
+		reg.Observe("h."+name, 1)
+	}
+	snap := reg.Snapshot()
+	for i := 1; i < len(snap.Counters); i++ {
+		if snap.Counters[i].Name < snap.Counters[i-1].Name {
+			t.Fatalf("counters unsorted: %+v", snap.Counters)
+		}
+	}
+	for i := 1; i < len(snap.Histograms); i++ {
+		if snap.Histograms[i].Name < snap.Histograms[i-1].Name {
+			t.Fatalf("histograms unsorted: %+v", snap.Histograms)
+		}
+	}
+}
+
+func TestDeclareHistogramFixesBuckets(t *testing.T) {
+	reg := NewRegistry()
+	reg.DeclareHistogram("margin", []float64{0, 10, 20})
+	reg.Observe("margin", 15)
+	h, _ := reg.Snapshot().HistogramByName("margin")
+	if len(h.Buckets) != 1 || h.Buckets[0].UpperBound != 20 {
+		t.Fatalf("buckets = %+v, want one at le=20", h.Buckets)
+	}
+	// Declaring after creation must not reset anything.
+	reg.DeclareHistogram("margin", []float64{1000})
+	reg.Observe("margin", 15)
+	h, _ = reg.Snapshot().HistogramByName("margin")
+	if h.Count != 2 {
+		t.Fatalf("count = %d after redeclare, want 2", h.Count)
+	}
+}
+
+func TestRegistryConcurrentCreateAndRecord(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Count("c", 1)
+				reg.Observe("h", 1)
+				reg.SetGauge("g", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if snap.CounterValue("c") != 1600 {
+		t.Fatalf("counter = %d, want 1600", snap.CounterValue("c"))
+	}
+	if h, _ := snap.HistogramByName("h"); h.Count != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", h.Count)
+	}
+}
+
+func TestSnapshotJSONIsValid(t *testing.T) {
+	reg := NewRegistry()
+	reg.Observe("h", 3)
+	reg.Count("c", 1)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CounterValue("c") != 1 {
+		t.Fatalf("round-tripped snapshot = %+v", back)
+	}
+}
+
+func TestServeDebugExposesPprofAndExpvar(t *testing.T) {
+	reg := NewRegistry()
+	reg.Count("sim.frames", 7)
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]string{
+		"/debug/vars":   `"crmetrics"`,
+		"/debug/pprof/": "goroutine",
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body[:n]), want) {
+			t.Fatalf("%s: body does not contain %q", path, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleReport() *RunReport {
+	reg := NewRegistry()
+	reg.Count("sim.frames_on_air", 12)
+	reg.Observe("detector.iterations", 3)
+	reg.Observe("experiments.trial_seconds", 0.12) // wall-time metric
+	r := NewRunReport("crbench", 1, 5)
+	r.Experiments = append(r.Experiments, ExperimentReport{
+		Name: "sec5", WallSeconds: 1.5, OutputBytes: 100,
+	})
+	r.Finish(reg.Snapshot(), 2*time.Second)
+	return r
+}
+
+func TestReportValidateAndRoundTrip(t *testing.T) {
+	r := sampleReport()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "crbench" || back.Seed != 1 || back.Trials != 5 {
+		t.Fatalf("round-tripped header = %+v", back)
+	}
+	if back.Metrics.CounterValue("sim.frames_on_air") != 12 {
+		t.Fatalf("metrics lost: %+v", back.Metrics)
+	}
+}
+
+func TestReportValidateRejectsBadReports(t *testing.T) {
+	for name, mutate := range map[string]func(*RunReport){
+		"schema":     func(r *RunReport) { r.Schema = 99 },
+		"tool":       func(r *RunReport) { r.Tool = "" },
+		"noexp":      func(r *RunReport) { r.Experiments = nil },
+		"unnamed":    func(r *RunReport) { r.Experiments[0].Name = "" },
+		"negwall":    func(r *RunReport) { r.Experiments[0].WallSeconds = -1 },
+		"histcounts": func(r *RunReport) { r.Metrics.Histograms[0].Count += 3 },
+	} {
+		r := sampleReport()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: validation passed on a broken report", name)
+		}
+	}
+}
+
+func TestStripWallTime(t *testing.T) {
+	r := sampleReport()
+	s := r.StripWallTime()
+	if s.StartTime != "" || s.WallSeconds != 0 || s.Runtime != (RuntimeStats{}) {
+		t.Fatalf("wall fields survive: %+v", s)
+	}
+	if s.Experiments[0].WallSeconds != 0 {
+		t.Fatalf("experiment wall time survives: %+v", s.Experiments[0])
+	}
+	if _, ok := s.Metrics.HistogramByName("experiments.trial_seconds"); ok {
+		t.Fatal("wall-time metric survives the strip")
+	}
+	if _, ok := s.Metrics.HistogramByName("detector.iterations"); !ok {
+		t.Fatal("deterministic metric stripped")
+	}
+	// The original must be untouched.
+	if r.WallSeconds == 0 || r.Experiments[0].WallSeconds == 0 {
+		t.Fatal("StripWallTime mutated the original report")
+	}
+	// Stripped reports of identical runs must encode identically.
+	var a, b bytes.Buffer
+	if err := s.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StripWallTime().Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("stripping the same report twice differs")
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import "math"
+
+// Snapshot is a point-in-time copy of a Registry's metrics, name-sorted so
+// its JSON encoding is deterministic for deterministic workloads.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// CounterSnapshot is one counter's value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's last value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Bucket is one non-empty histogram bucket. UpperBound is +Inf-free: the
+// overflow bucket is marked by Overflow instead, keeping the JSON valid.
+type Bucket struct {
+	UpperBound float64 `json:"le,omitempty"`
+	Overflow   bool    `json:"overflow,omitempty"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramSnapshot is one histogram's state. Only non-empty buckets are
+// exported; Min/Max are omitted when the histogram has no observations.
+type HistogramSnapshot struct {
+	Name    string   `json:"name"`
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     *float64 `json:"min,omitempty"`
+	Max     *float64 `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum()}
+	if s.Count > 0 {
+		lo := math.Float64frombits(h.minBits.Load())
+		hi := math.Float64frombits(h.maxBits.Load())
+		s.Min, s.Max = &lo, &hi
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := Bucket{Count: n}
+		if i < len(h.bounds) {
+			b.UpperBound = h.bounds[i]
+		} else {
+			b.Overflow = true
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// CounterValue returns the named counter's value, or 0 when absent.
+func (s Snapshot) CounterValue(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// HistogramByName returns the named histogram snapshot, or false.
+func (s Snapshot) HistogramByName(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/uwb-sim/concurrent-ranging/internal/channel"
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
 	"github.com/uwb-sim/concurrent-ranging/internal/geom"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 )
 
 // Node is one UWB device: an application-level responder ID, a position in
@@ -69,6 +70,8 @@ type Network struct {
 	nodes       []*Node
 	randomPhase bool
 	trace       func(TraceEvent)
+	stats       Stats
+	rec         obs.Recorder
 }
 
 // NewNetwork builds an empty network.

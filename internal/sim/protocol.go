@@ -161,6 +161,7 @@ func (n *Network) RunConcurrentRound(initiator *Node, responders []*Node, cfg Ro
 	t0 := n.Engine.Now() + 10e-6 // radio wake-up before the broadcast
 	if err := n.Engine.Schedule(t0, func() {
 		result.InitTXTimestamp = initiator.Radio.Now(t0)
+		n.countFrame() // one INIT broadcast on the air
 		n.emit(t0, initiator.Name, EventTXInit, "broadcast to %d responders", len(responders))
 		for _, resp := range responders {
 			resp := resp
@@ -179,6 +180,7 @@ func (n *Network) RunConcurrentRound(initiator *Node, responders []*Node, cfg Ro
 				fail(fmt.Errorf("INIT reception at %s: %w", resp.Name, err))
 				return
 			}
+			n.countReception(1)
 			if err := n.Engine.Schedule(rec.LockedArrivalTime, func() {
 				n.emit(rec.LockedArrivalTime, resp.Name, EventRXInit,
 					"timestamp %d", rec.Timestamp)
@@ -199,6 +201,7 @@ func (n *Network) RunConcurrentRound(initiator *Node, responders []*Node, cfg Ro
 	if err != nil {
 		return nil, fmt.Errorf("aggregated reception: %w", err)
 	}
+	n.countReception(len(arrivals))
 	// Advance the virtual clock past the reception.
 	if err := n.Engine.Schedule(rec.LockedArrivalTime, func() {}); err == nil {
 		n.Engine.Run()
@@ -219,6 +222,7 @@ func (n *Network) RunConcurrentRound(initiator *Node, responders []*Node, cfg Ro
 	result.DecodedID = decodedID
 	result.Decoded = payloads[rec.LockedSourceID]
 	result.DecodeOK = cfg.Capture.Decode(arrivals, rec.LockedSourceID)
+	n.countDecode(result.DecodeOK)
 	result.LockSIRdB = SIRdB(arrivals, rec.LockedSourceID)
 	n.emit(emitTime, initiator.Name, EventDecode,
 		"payload of %s: ok=%v (SIR %.1f dB)", rec.LockedSourceID, result.DecodeOK, result.LockSIRdB)
@@ -297,6 +301,7 @@ func (n *Network) respondConcurrent(
 			return
 		}
 	}
+	n.countFrame() // one RESP frame on the air
 	*arrivals = append(*arrivals, dw1000.Arrival{
 		SourceID: resp.Name,
 		TXTime:   simTX,

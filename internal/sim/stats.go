@@ -1,0 +1,75 @@
+package sim
+
+import "github.com/uwb-sim/concurrent-ranging/internal/obs"
+
+// Metric names the simulator records through its Recorder.
+const (
+	// MetricFramesOnAir counts frames handed to the channel (one INIT
+	// per round plus one RESP per responder).
+	MetricFramesOnAir = "sim.frames_on_air"
+	// MetricReceptions counts successful radio receptions, including
+	// the initiator's aggregated one.
+	MetricReceptions = "sim.receptions"
+	// MetricCollisions counts aggregated receptions in which two or more
+	// response frames overlapped on the air — the concurrent-ranging
+	// regime the detector has to untangle.
+	MetricCollisions = "sim.collisions"
+	// MetricDecodeFailures counts rounds whose locked payload did not
+	// survive the concurrent interference (capture model).
+	MetricDecodeFailures = "sim.decode_failures"
+)
+
+// Stats is a network's cumulative event tally. The simulator is
+// single-goroutine per network, so plain integers suffice; campaigns
+// running many networks in parallel aggregate through a shared
+// concurrent-safe Recorder instead.
+type Stats struct {
+	// FramesOnAir is the number of frames transmitted.
+	FramesOnAir int64
+	// Receptions is the number of successful receptions.
+	Receptions int64
+	// Collisions is the number of aggregated receptions with ≥ 2
+	// overlapping arrivals.
+	Collisions int64
+	// DecodeFailures is the number of failed payload decodes.
+	DecodeFailures int64
+}
+
+// Stats returns the network's event counts so far.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetRecorder mirrors every subsequent count into rec (nil disables
+// mirroring; the Stats tally always runs). The same no-op-when-nil,
+// observation-only contract as core.Detector.SetRecorder applies: a
+// recorder never changes simulation results.
+func (n *Network) SetRecorder(rec obs.Recorder) { n.rec = rec }
+
+func (n *Network) countFrame() {
+	n.stats.FramesOnAir++
+	if n.rec != nil {
+		n.rec.Count(MetricFramesOnAir, 1)
+	}
+}
+
+func (n *Network) countReception(arrivals int) {
+	n.stats.Receptions++
+	if n.rec != nil {
+		n.rec.Count(MetricReceptions, 1)
+	}
+	if arrivals >= 2 {
+		n.stats.Collisions++
+		if n.rec != nil {
+			n.rec.Count(MetricCollisions, 1)
+		}
+	}
+}
+
+func (n *Network) countDecode(ok bool) {
+	if ok {
+		return
+	}
+	n.stats.DecodeFailures++
+	if n.rec != nil {
+		n.rec.Count(MetricDecodeFailures, 1)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/uwb-sim/concurrent-ranging/internal/core"
 	"github.com/uwb-sim/concurrent-ranging/internal/geom"
 	"github.com/uwb-sim/concurrent-ranging/internal/locate"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 	"github.com/uwb-sim/concurrent-ranging/internal/sim"
 )
 
@@ -277,4 +278,14 @@ func (s *Session) SetTracer(fn func(TraceEvent)) {
 	s.net.SetTracer(func(e sim.TraceEvent) {
 		fn(TraceEvent{TimeSeconds: e.Time, Node: e.Node, Kind: e.Kind, Detail: e.Detail})
 	})
+}
+
+// SetRecorder attaches a metrics recorder to the session's detector and
+// simulated network; nil detaches both. Recording is observation-only —
+// results are bit-identical with or without a recorder — and free when
+// disabled (the hot paths test a single nil pointer). obs.Registry
+// satisfies the interface and is safe for concurrent use across sessions.
+func (s *Session) SetRecorder(rec obs.Recorder) {
+	s.detector.SetRecorder(rec)
+	s.net.SetRecorder(rec)
 }
