@@ -7,8 +7,8 @@
 //	crbench [-trials N] [-seed S] [-json path] [-progress] [-pprof addr] [experiment ...]
 //
 // Experiments: fig1 fig2 sec3 fig4 fig5 sec5 fig6 table1 sec6 sec7 fig8
-// sec8 campaign capture ablation. Running without arguments executes all of
-// them. The -trials flag scales the Monte-Carlo experiments: 0 keeps each
+// sec8 campaign capture fullbank ablation. Running without arguments
+// executes all of them. The -trials flag scales the Monte-Carlo experiments: 0 keeps each
 // experiment's paper-faithful default (e.g. 5000 SS-TWR operations for
 // Sect. V), smaller values give quick previews.
 //
@@ -150,6 +150,13 @@ var runners = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"fullbank": func(trials int, seed uint64) (string, error) {
+		r, err := experiments.FullBank(experiments.FullBankConfig{Trials: trials, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 	"ablation": func(trials int, seed uint64) (string, error) {
 		up, err := experiments.AblationUpsample(trials, seed)
 		if err != nil {
@@ -178,7 +185,8 @@ var runners = map[string]runner{
 // order lists the experiments in paper order for the run-everything mode.
 var order = []string{
 	"fig1", "fig2", "sec3", "fig4", "fig5", "sec5", "fig6",
-	"table1", "sec6", "sec7", "fig8", "sec8", "campaign", "capture", "ablation",
+	"table1", "sec6", "sec7", "fig8", "sec8", "campaign", "capture",
+	"fullbank", "ablation",
 }
 
 func main() {

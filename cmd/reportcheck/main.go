@@ -7,12 +7,22 @@
 // Usage:
 //
 //	reportcheck report.json [report2.json ...]
+//	reportcheck -compare old.json new.json [-max-regress factor]
 //
-// Exit status 0 means every report is well-formed; any defect prints a
-// diagnostic and exits 1.
+// In -compare mode both reports are validated and the per-experiment wall
+// times of the experiments common to both are compared: the run fails if
+// any experiment in new.json took more than factor times (default 4) its
+// old.json wall time, plus a small absolute grace so microsecond-scale
+// experiments don't trip on scheduler noise. CI compares the smoke run
+// against the committed BENCH_* baseline, so a detector-path performance
+// regression fails the build rather than landing silently.
+//
+// Exit status 0 means every report is well-formed (and, with -compare, no
+// regression was found); any defect prints a diagnostic and exits 1.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -20,12 +30,32 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	comparePath := flag.String("compare", "", "baseline report to compare wall times against")
+	maxRegress := flag.Float64("max-regress", 4, "fail when an experiment exceeds this factor of its baseline wall time")
+	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: reportcheck report.json [report2.json ...]")
+		fmt.Fprintln(os.Stderr, "       reportcheck -compare old.json new.json [-max-regress factor]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
+	if *comparePath != "" {
+		if len(args) != 1 {
+			fmt.Fprintln(os.Stderr, "reportcheck: -compare takes exactly one new report")
+			os.Exit(2)
+		}
+		if err := compare(*comparePath, args[0], *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "reportcheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	failed := false
-	for _, path := range os.Args[1:] {
+	for _, path := range args {
 		if err := check(path); err != nil {
 			fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
 			failed = true
@@ -72,4 +102,66 @@ func check(path string) error {
 		return fmt.Errorf("experiments.trial_seconds sum is %g, want > 0", h.Sum)
 	}
 	return nil
+}
+
+// regressGraceSeconds is added to the scaled baseline before comparing, so
+// experiments whose baseline wall time is within scheduler-noise scale
+// cannot fail on jitter alone.
+const regressGraceSeconds = 0.05
+
+// compare validates both reports and fails if any experiment present in
+// both regressed beyond maxRegress times its baseline wall time.
+func compare(oldPath, newPath string, maxRegress float64) error {
+	if maxRegress <= 0 {
+		return fmt.Errorf("-max-regress must be positive, got %g", maxRegress)
+	}
+	for _, path := range []string{oldPath, newPath} {
+		if err := check(path); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	oldR, err := obs.ReadReportFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := obs.ReadReportFile(newPath)
+	if err != nil {
+		return err
+	}
+	baseline := make(map[string]float64, len(oldR.Experiments))
+	for _, e := range oldR.Experiments {
+		baseline[e.Name] = e.WallSeconds
+	}
+	compared, failed := 0, 0
+	for _, e := range newR.Experiments {
+		old, ok := baseline[e.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		limit := old*maxRegress + regressGraceSeconds
+		status := "ok"
+		if e.WallSeconds > limit {
+			status = fmt.Sprintf("REGRESSION (limit %.3fs)", limit)
+			failed++
+		}
+		fmt.Printf("%-10s %8.3fs -> %8.3fs (%.2fx) %s\n",
+			e.Name, old, e.WallSeconds, ratio(e.WallSeconds, old), status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no common experiments between %s and %s", oldPath, newPath)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d experiments regressed beyond %gx", failed, compared, maxRegress)
+	}
+	fmt.Printf("%s vs %s: %d experiments within %gx\n", newPath, oldPath, compared, maxRegress)
+	return nil
+}
+
+// ratio guards the displayed new/old quotient against a zero baseline.
+func ratio(new, old float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return new / old
 }

@@ -69,6 +69,60 @@ func TestCheckRejectsDefects(t *testing.T) {
 	}
 }
 
+func TestCompareWallTimes(t *testing.T) {
+	base := liveReport()
+	base.Experiments = []obs.ExperimentReport{
+		{Name: "sec5", WallSeconds: 0.1, OutputBytes: 100},
+		{Name: "sec6", WallSeconds: 0.2, OutputBytes: 100},
+	}
+	oldPath := writeReport(t, base)
+
+	within := liveReport()
+	within.Experiments = []obs.ExperimentReport{
+		{Name: "sec5", WallSeconds: 0.3, OutputBytes: 100},  // 3x < 4x
+		{Name: "fig4", WallSeconds: 99.0, OutputBytes: 100}, // not in baseline: ignored
+	}
+	if err := compare(oldPath, writeReport(t, within), 4); err != nil {
+		t.Fatalf("3x slowdown within 4x limit rejected: %v", err)
+	}
+
+	regressed := liveReport()
+	regressed.Experiments = []obs.ExperimentReport{
+		{Name: "sec6", WallSeconds: 1.5, OutputBytes: 100}, // 7.5x > 4x (plus grace)
+	}
+	err := compare(oldPath, writeReport(t, regressed), 4)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("7.5x regression accepted: %v", err)
+	}
+
+	disjoint := liveReport()
+	disjoint.Experiments = []obs.ExperimentReport{{Name: "fig8", WallSeconds: 0.1, OutputBytes: 1}}
+	if err := compare(oldPath, writeReport(t, disjoint), 4); err == nil {
+		t.Fatal("reports with no common experiments accepted")
+	}
+
+	if err := compare(oldPath, oldPath, 0); err == nil {
+		t.Fatal("non-positive -max-regress accepted")
+	}
+	// A structurally broken report must fail compare too.
+	broken := liveReport()
+	broken.Experiments = nil
+	if err := compare(oldPath, writeReport(t, broken), 4); err == nil {
+		t.Fatal("invalid new report accepted by compare")
+	}
+}
+
+func TestCompareGraceAbsorbsTinyBaselines(t *testing.T) {
+	base := liveReport()
+	base.Experiments = []obs.ExperimentReport{{Name: "sec5", WallSeconds: 0.001, OutputBytes: 100}}
+	fast := liveReport()
+	fast.Experiments = []obs.ExperimentReport{{Name: "sec5", WallSeconds: 0.03, OutputBytes: 100}}
+	// 30x on a 1 ms baseline is scheduler noise, absorbed by the grace.
+	if err := compare(writeReport(t, base), writeReport(t, fast), 4); err != nil {
+		t.Fatalf("noise-scale wobble rejected: %v", err)
+	}
+}
+
 func TestCheckRejectsGarbageFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "garbage.json")
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"runtime"
+	"sync"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/dsp"
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
@@ -40,10 +42,43 @@ const (
 	// matched filtering of one template against one residual).
 	MetricDetectTemplateEvals = "detector.template_evals"
 	// MetricUpsampleExecs and the bank metrics surface the dsp plan-level
-	// execution counters.
+	// execution counters. In spectral mode a bank "transform" is one
+	// SpectralBank.Ingest (once per Detect) and a bank "filter" is one
+	// ScanBest; in reference mode they are MatchedFilterBank.Transform
+	// (once per round) and FilterInto/FilterPeak.
 	MetricUpsampleExecs  = "dsp.upsample_execs"
 	MetricBankTransforms = "dsp.bank_transforms"
 	MetricBankFilters    = "dsp.bank_filters"
+	// MetricBankShiftSubtracts counts analytic DFT-shift spectrum updates —
+	// the subtractions the spectral path performs without any transform.
+	MetricBankShiftSubtracts = "dsp.bank_shift_subtracts"
+)
+
+// DetectorMode selects the detector's search implementation.
+type DetectorMode int
+
+const (
+	// ModeAuto (the default) picks per bank size: the spectral fast path
+	// for banks of at least minParallelTemplates templates — the Sect. V
+	// shape-identification case, where the per-round forward transforms
+	// dominate — and the exact reference path for small banks, whose
+	// results are pinned bit-exactly by the golden tests and where the
+	// spectral win is smaller. DisableRefinement always forces the
+	// reference path (its on-grid amplitudes read the exact
+	// matched-filter output).
+	ModeAuto DetectorMode = iota
+	// ModeSpectral maintains the residual's up-sampled spectrum
+	// analytically across extractions: one upsample + one forward FFT per
+	// Detect, zero forward transforms per round. The coarse peak search
+	// runs on that (slightly approximate) spectrum; refinement, amplitude
+	// estimation, thresholding and subtraction all stay on the exactly
+	// maintained T_s residual, so delays and amplitudes match the
+	// reference path whenever the coarse argmax lands in the same basin.
+	ModeSpectral
+	// ModeReference re-upsamples and re-transforms the residual every
+	// round — the exact implementation the spectral path is validated
+	// against.
+	ModeReference
 )
 
 // Response is one detected responder pulse in the CIR.
@@ -87,7 +122,17 @@ type DetectorConfig struct {
 	// and estimates each response on the up-sampled grid only — the
 	// literal steps 3–5 of the paper. Kept as an ablation: the residual
 	// of a grid-limited subtraction re-triggers detection at high SNR.
+	// Incompatible with ModeSpectral (the grid amplitude is read off the
+	// matched-filter output, which the spectral path only approximates).
 	DisableRefinement bool
+	// Mode selects the search implementation; see DetectorMode.
+	Mode DetectorMode
+	// Workers bounds the goroutines fanned across the template bank each
+	// round. 0 means automatic: GOMAXPROCS workers for banks of at least
+	// eight templates (a full Sect. V bank), serial otherwise — small
+	// banks are dominated by per-round FFTs, and the detector is often
+	// already running inside a per-trial worker pool. 1 forces serial.
+	Workers int
 }
 
 // Detector defaults.
@@ -119,19 +164,49 @@ type Detector struct {
 	cirLen   int
 	upsample *dsp.UpsamplePlan
 	fbank    *dsp.MatchedFilterBank
+	sbank    *dsp.SpectralBank // nil unless the spectral path is active
 	residual []complex128
 	up       []complex128
-	yBest    []complex128
 	yCur     []complex128
+	skipQ    []dsp.SkipInterval // per-round suppressed intervals, q-space
+	workers  []detectWorker     // per-worker scratch for the template fan-out
 
 	// rec is the optional instrumentation sink (nil = disabled, the
-	// default). lastUpsampleExecs/lastBankTransforms/lastBankFilters
-	// remember the dsp plan counters at the end of the previous recorded
-	// call so each Detect reports deltas.
+	// default). The last* fields remember the dsp plan counters at the
+	// end of the previous recorded call so each Detect reports deltas.
 	rec               obs.Recorder
 	lastUpsampleExecs int64
 	lastBankXforms    int64
 	lastBankFilters   int64
+	lastIngests       int64
+	lastScans         int64
+	lastShifts        int64
+}
+
+// detectWorker is one goroutine's worth of search scratch: matched-filter
+// output buffers (reference and spectral) plus the per-template skip
+// intervals shifted into output-index space.
+type detectWorker struct {
+	fscratch []complex128
+	sscratch []complex128
+	skip     []dsp.SkipInterval
+}
+
+// candidate is one template's best peak, merged deterministically across
+// workers: higher squared magnitude wins, ties go to the lower template
+// index — exactly what the serial ascending scan with a strict > produces.
+type candidate struct {
+	sq  float64
+	t   int
+	idx int
+	y3  [3]complex128
+}
+
+func (c candidate) better(o candidate) bool {
+	if c.sq != o.sq {
+		return c.sq > o.sq
+	}
+	return o.t < 0 || (c.t >= 0 && c.t < o.t)
 }
 
 // SetRecorder attaches an instrumentation sink; nil (the default)
@@ -169,6 +244,15 @@ func NewDetector(bank *pulse.Bank, cfg DetectorConfig) (*Detector, error) {
 	if cfg.MaxResponses == 0 && cfg.DisableThreshold {
 		return nil, fmt.Errorf("core: automatic mode requires the detection threshold")
 	}
+	if cfg.Mode < ModeAuto || cfg.Mode > ModeReference {
+		return nil, fmt.Errorf("core: unknown detector mode %d", cfg.Mode)
+	}
+	if cfg.Mode == ModeSpectral && cfg.DisableRefinement {
+		return nil, fmt.Errorf("core: ModeSpectral needs refinement (grid amplitudes read the exact matched-filter output)")
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative Workers %d", cfg.Workers)
+	}
 	d := &Detector{
 		cfg:       cfg,
 		bank:      bank,
@@ -196,7 +280,8 @@ func NewDetector(bank *pulse.Bank, cfg DetectorConfig) (*Detector, error) {
 // ensureState (re)builds the cached frequency-domain execution state for
 // CIRs of n taps: the upsampling plan, the matched-filter bank holding
 // each template's spectrum at the convolution length implied by the
-// window, and the scratch buffers Detect reuses across iterations.
+// window, the spectral search state when the fast path is active, and the
+// per-worker scratch Detect reuses across iterations.
 func (d *Detector) ensureState(n int) error {
 	if n == d.cirLen {
 		return nil
@@ -209,15 +294,61 @@ func (d *Detector) ensureState(n int) error {
 	if err != nil {
 		return err
 	}
+	var sbank *dsp.SpectralBank
+	if d.useSpectral() {
+		if sbank, err = dsp.NewSpectralBank(d.templates, n*d.cfg.Upsample); err != nil {
+			return err
+		}
+	}
 	d.cirLen = n
 	d.upsample = up
 	d.fbank = fbank
+	d.sbank = sbank
 	d.lastUpsampleExecs, d.lastBankXforms, d.lastBankFilters = 0, 0, 0
+	d.lastIngests, d.lastScans, d.lastShifts = 0, 0, 0
 	d.residual = make([]complex128, n)
 	d.up = make([]complex128, n*d.cfg.Upsample)
-	d.yBest = make([]complex128, n*d.cfg.Upsample)
 	d.yCur = make([]complex128, n*d.cfg.Upsample)
+	d.workers = make([]detectWorker, d.workerCount())
+	for i := range d.workers {
+		w := &d.workers[i]
+		w.fscratch = fbank.NewScratch()
+		if sbank != nil {
+			w.sscratch = sbank.NewScratch()
+		}
+	}
 	return nil
+}
+
+// useSpectral reports whether Detect runs the spectral fast path.
+func (d *Detector) useSpectral() bool {
+	switch d.cfg.Mode {
+	case ModeSpectral:
+		return true
+	case ModeReference:
+		return false
+	default:
+		return !d.cfg.DisableRefinement && len(d.templates) >= minParallelTemplates
+	}
+}
+
+// minParallelTemplates is the bank size at which Workers == 0 turns the
+// per-round template fan-out on. Below it the round is dominated by the
+// residual FFTs, and detectors usually already run inside per-trial
+// worker pools (experiments.parallelMapWith) where nested fan-out only
+// adds scheduling churn.
+const minParallelTemplates = 8
+
+// workerCount resolves DetectorConfig.Workers against the bank size.
+func (d *Detector) workerCount() int {
+	w := d.cfg.Workers
+	if w == 0 {
+		if len(d.templates) < minParallelTemplates {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	return max(1, min(w, len(d.templates)))
 }
 
 // Bank returns the detector's template bank.
@@ -260,6 +391,17 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 	}
 	rounds, refineSteps := 0, 0
 
+	// Spectral fast path: upsample and forward-transform the CIR once,
+	// then keep the spectrum current analytically after each subtraction.
+	// The reference path redoes both every round inside the loop.
+	spectral := d.sbank != nil
+	if spectral {
+		up := d.upsample.Execute(d.up, residual)
+		if err := d.sbank.Ingest(up); err != nil {
+			return nil, err
+		}
+	}
+
 	var responses []Response
 	var extractedPos []float64 // peak positions already subtracted, in T_s samples
 	for iter := 0; iter < d.cfg.MaxIterations; iter++ {
@@ -270,27 +412,20 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		// Coarse search in the up-sampled domain (Sect. IV steps 1–3).
 		// One forward FFT of the residual feeds every template's cached
 		// matched-filter spectrum; each template then costs one complex
-		// multiply pass plus one inverse FFT.
-		up := d.upsample.Execute(d.up, residual)
-		if err := d.fbank.Transform(up); err != nil {
-			return nil, err
-		}
-		bestIdx, bestTmpl := -1, -1
-		var bestY []complex128
-		var bestMag float64
-		for t := range d.templates {
-			y, err := d.fbank.FilterInto(d.yCur, t)
-			if err != nil {
+		// multiply pass plus one inverse FFT with the peak scan fused
+		// into its output pass — fanned across workers for large banks.
+		if !spectral {
+			up := d.upsample.Execute(d.up, residual)
+			if err := d.fbank.Transform(up); err != nil {
 				return nil, err
 			}
-			idx, mag := d.maxOutsideSuppression(y, d.centers[t], extractedPos)
-			if idx >= 0 && mag > bestMag {
-				bestIdx, bestTmpl, bestMag, bestY = idx, t, mag, y
-				// Keep the winning output out of the next template's way.
-				d.yCur, d.yBest = d.yBest, d.yCur
-			}
 		}
-		if bestIdx < 0 {
+		d.skipQ = appendSuppressedIntervals(d.skipQ[:0], extractedPos, d.cfg.Upsample)
+		best, err := d.searchTemplates(spectral)
+		if err != nil {
+			return nil, err
+		}
+		if best.t < 0 {
 			break
 		}
 		// Refine the peak position to sub-sample precision and estimate
@@ -301,7 +436,9 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		// leaves a flank-shaped residual proportional to the delay error
 		// plus the slight aliasing of a 900 MHz pulse at the 1.0016 ns
 		// accumulator rate; a high-SNR run would re-detect that residual
-		// as phantom responses.
+		// as phantom responses. The spectral path relies on the same
+		// split: its coarse peak only has to land in the right basin,
+		// because the values below come from the exact T_s residual.
 		var peakPos float64
 		var alpha complex128
 		if d.cfg.DisableRefinement {
@@ -309,13 +446,13 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 			// up-sampled grid and the amplitude is the matched-filter
 			// output at that sample (rescaled to the T_s-domain template
 			// energy convention).
-			peakPos = float64(bestIdx+d.centers[bestTmpl]) / float64(d.cfg.Upsample)
-			alpha = bestY[bestIdx] * complex(d.gridAmplitudeScale(bestTmpl), 0)
+			peakPos = float64(best.idx+d.centers[best.t]) / float64(d.cfg.Upsample)
+			alpha = best.y3[1] * complex(d.gridAmplitudeScale(best.t), 0)
 		} else {
-			coarse := (float64(bestIdx) + interpolateComplexPeak(bestY, bestIdx) +
-				float64(d.centers[bestTmpl])) / float64(d.cfg.Upsample)
+			coarse := (float64(best.idx) + d.interpolateY3(best.y3, best.idx) +
+				float64(d.centers[best.t])) / float64(d.cfg.Upsample)
 			var steps int
-			peakPos, alpha, steps = d.refinePeak(residual, bestTmpl, coarse)
+			peakPos, alpha, steps = d.refinePeak(residual, best.t, coarse)
 			refineSteps += steps
 		}
 		if alpha == 0 {
@@ -327,10 +464,16 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		responses = append(responses, Response{
 			Delay:         peakPos * d.ts,
 			Amplitude:     alpha,
-			TemplateIndex: bestTmpl,
+			TemplateIndex: best.t,
 		})
-		// Subtract the estimated response (Sect. IV step 5).
-		d.bank.Shape(bestTmpl).RenderInto(residual, -alpha, peakPos, d.ts)
+		// Subtract the estimated response (Sect. IV step 5) — and mirror
+		// it analytically into the maintained spectrum on the fast path.
+		d.bank.Shape(best.t).RenderInto(residual, -alpha, peakPos, d.ts)
+		if spectral {
+			if err := d.spectralSubtract(best.t, alpha, peakPos); err != nil {
+				return nil, err
+			}
+		}
 		extractedPos = append(extractedPos, peakPos)
 	}
 	sortResponsesByDelay(responses)
@@ -373,6 +516,126 @@ func (d *Detector) recordDetect(responses []Response, rounds, refineSteps int,
 		rec.Count(MetricBankFilters, f-d.lastBankFilters)
 		d.lastBankFilters = f
 	}
+	if d.sbank == nil {
+		return
+	}
+	// Spectral-path counters map onto the same bank metrics: an Ingest is
+	// the one transform a Detect pays, a ScanBest is one template filter.
+	if x := d.sbank.Ingests(); x != d.lastIngests {
+		rec.Count(MetricBankTransforms, x-d.lastIngests)
+		d.lastIngests = x
+	}
+	if f := d.sbank.Scans(); f != d.lastScans {
+		rec.Count(MetricBankFilters, f-d.lastScans)
+		d.lastScans = f
+	}
+	if s := d.sbank.ShiftSubtracts(); s != d.lastShifts {
+		rec.Count(MetricBankShiftSubtracts, s-d.lastShifts)
+		d.lastShifts = s
+	}
+}
+
+// searchTemplates runs one round's coarse search — every template's
+// matched filtering plus suppressed-peak scan — and returns the winning
+// candidate (t == -1 when every sample of every template is suppressed or
+// zero). With more than one worker the bank is split into contiguous
+// chunks, each scanned by its own goroutine with per-worker scratch; the
+// in-order reduce keeps the result identical to the serial ascending scan
+// regardless of scheduling.
+func (d *Detector) searchTemplates(spectral bool) (candidate, error) {
+	nw := min(len(d.workers), len(d.templates))
+	if nw <= 1 {
+		return d.scanRange(&d.workers[0], 0, len(d.templates), spectral)
+	}
+	results := make([]candidate, nw)
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	chunk := (len(d.templates) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(d.templates))
+		if lo >= hi {
+			results[w] = candidate{t: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w], errs[w] = d.scanRange(&d.workers[w], lo, hi, spectral)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return candidate{t: -1}, err
+		}
+	}
+	best := candidate{t: -1}
+	for _, c := range results {
+		if c.better(best) {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// scanRange scans templates [lo, hi) and returns the chunk's best
+// candidate. It only reads detector state shared across workers (skipQ,
+// centers, the banks' read-only plan state) and mutates nothing but the
+// worker's own scratch.
+func (d *Detector) scanRange(w *detectWorker, lo, hi int, spectral bool) (candidate, error) {
+	n := d.cirLen * d.cfg.Upsample
+	best := candidate{t: -1}
+	for t := lo; t < hi; t++ {
+		w.skip = appendShifted(w.skip[:0], d.skipQ, d.centers[t], n)
+		var (
+			idx int
+			sq  float64
+			y3  [3]complex128
+			err error
+		)
+		if spectral {
+			idx, sq, y3, err = d.sbank.ScanBest(w.sscratch, t, w.skip)
+		} else {
+			idx, sq, y3, err = d.fbank.FilterPeak(w.fscratch, t, w.skip)
+		}
+		if err != nil {
+			return best, err
+		}
+		if idx < 0 {
+			continue
+		}
+		if c := (candidate{sq: sq, t: t, idx: idx, y3: y3}); c.better(best) {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// spectralSubtract mirrors the T_s-domain subtraction of
+// alpha·s_t(·−peakPos) into the maintained up-sampled spectrum via the
+// DFT shift theorem. The spectral amplitude rescales α̂ from the
+// T_s-domain template-energy convention to the bank's unit-energy
+// up-sampled templates (the inverse of gridAmplitudeScale).
+func (d *Detector) spectralSubtract(t int, alpha complex128, peakPos float64) error {
+	shape := d.bank.Shape(t)
+	normUp := shape.NormConstant(d.tsUp)
+	normTs := shape.NormConstant(d.ts)
+	if normUp == 0 {
+		return fmt.Errorf("core: template %d has zero energy at the up-sampled rate", t)
+	}
+	amp := alpha * complex(normTs/normUp, 0)
+	finePos := peakPos * float64(d.cfg.Upsample)
+	// The bank's tail-correction prefix needs the time-domain subtraction
+	// too, but only when the pulse support reaches the window start.
+	var eval func(int) complex128
+	if finePos-shape.SupportHalfWidth()/d.tsUp < float64(d.sbank.PrefixLen()) {
+		scale := alpha * complex(normTs, 0)
+		eval = func(x int) complex128 {
+			return scale * complex(shape.Eval((float64(x)-finePos)*d.tsUp), 0)
+		}
+	}
+	return d.sbank.ShiftSubtract(t, amp, finePos, eval)
 }
 
 // suppressionRadius is how close (in CIR samples T_s) a new candidate
@@ -383,26 +646,85 @@ func (d *Detector) recordDetect(responses []Response, rounds, refineSteps int,
 // response separation, so genuine overlapping responses are unaffected.
 const suppressionRadius = 0.5
 
-// maxOutsideSuppression returns the index and magnitude of the largest
-// |y| (an up-sampled-domain matched-filter output) whose implied peak
-// position is not within the suppression radius of an already-extracted
-// path. It returns (-1, 0) when everything is suppressed.
-func (d *Detector) maxOutsideSuppression(y []complex128, center int, extracted []float64) (int, float64) {
-	bestIdx, bestSq := -1, 0.0
-	for i, v := range y {
-		sq := real(v)*real(v) + imag(v)*imag(v)
-		if sq <= bestSq {
+// appendSuppressedIntervals appends the suppressed index ranges implied
+// by the extracted positions, merged into ascending disjoint intervals —
+// O(k log k) once per round instead of re-checking every extracted
+// position for every sample of every template. Intervals live in q-space,
+// q = output index + template center, which is template-independent;
+// appendShifted rebases them per template. Membership is decided by
+// probing the exact floating-point predicate the per-sample scan used —
+// |q/U − p| < suppressionRadius — so interval-based scans are
+// bit-identical to it (TestSuppressedIntervalsMatchNaive).
+func appendSuppressedIntervals(dst []dsp.SkipInterval, extracted []float64, upsample int) []dsp.SkipInterval {
+	U := float64(upsample)
+	for _, p := range extracted {
+		// Approximate endpoints with two samples of slack, then tighten
+		// with the exact predicate (the region is contiguous: q/U is
+		// monotone in q, so |q/U − p| is unimodal).
+		lo := int(math.Ceil((p-suppressionRadius)*U)) - 2
+		hi := int(math.Floor((p+suppressionRadius)*U)) + 2
+		for lo <= hi && math.Abs(float64(lo)/U-p) >= suppressionRadius {
+			lo++
+		}
+		for hi >= lo && math.Abs(float64(hi)/U-p) >= suppressionRadius {
+			hi--
+		}
+		if lo > hi {
 			continue
 		}
-		pos := float64(i+center) / float64(d.cfg.Upsample) // in T_s samples
-		suppressed := false
-		for _, p := range extracted {
-			if math.Abs(pos-p) < suppressionRadius {
-				suppressed = true
-				break
-			}
+		dst = append(dst, dsp.SkipInterval{Lo: lo, Hi: hi})
+	}
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].Lo < dst[j-1].Lo; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
 		}
-		if !suppressed {
+	}
+	out := dst[:0]
+	for _, iv := range dst {
+		if n := len(out); n > 0 && iv.Lo <= out[n-1].Hi+1 {
+			out[n-1].Hi = max(out[n-1].Hi, iv.Hi)
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// appendShifted rebases q-space skip intervals into output-index space
+// for a template with the given center, clamped to outputs [0, n).
+func appendShifted(dst, skipQ []dsp.SkipInterval, center, n int) []dsp.SkipInterval {
+	for _, iv := range skipQ {
+		lo, hi := iv.Lo-center, iv.Hi-center
+		if hi < 0 || lo >= n {
+			continue
+		}
+		dst = append(dst, dsp.SkipInterval{Lo: max(lo, 0), Hi: min(hi, n-1)})
+	}
+	return dst
+}
+
+// maxOutsideSuppression returns the index and magnitude of the largest
+// |y| (an up-sampled-domain matched-filter output) whose implied peak
+// position is not suppressed, given the round's precomputed q-space
+// intervals. It returns (-1, 0) when everything is suppressed. Detect's
+// hot path fuses this scan into the banks' inverse-FFT output pass
+// (FilterPeak/ScanBest); this standalone form remains as the readable
+// reference the fused scans are tested against.
+func (d *Detector) maxOutsideSuppression(y []complex128, center int, skipQ []dsp.SkipInterval) (int, float64) {
+	bestIdx, bestSq := -1, 0.0
+	si := 0
+	for i := 0; i < len(y); i++ {
+		q := i + center
+		for si < len(skipQ) && skipQ[si].Hi < q {
+			si++
+		}
+		if si < len(skipQ) && skipQ[si].Lo <= q {
+			i = skipQ[si].Hi - center // loop increment moves past the interval
+			continue
+		}
+		v := y[i]
+		sq := real(v)*real(v) + imag(v)*imag(v)
+		if sq > bestSq {
 			bestIdx, bestSq = i, sq
 		}
 	}
@@ -425,13 +747,15 @@ func (d *Detector) gridAmplitudeScale(tmplIdx int) float64 {
 	return normUp / normTs
 }
 
-// interpolateComplexPeak returns the fractional offset of the magnitude
-// peak of y around integer index i via a three-point parabolic fit.
-func interpolateComplexPeak(y []complex128, i int) float64 {
-	if i <= 0 || i >= len(y)-1 {
+// interpolateY3 returns the fractional offset of the magnitude peak from
+// the three matched-filter output samples centered on index idx, via the
+// same three-point parabolic fit the full-output scan used (zero at the
+// output boundaries, where no window exists).
+func (d *Detector) interpolateY3(y3 [3]complex128, idx int) float64 {
+	if idx <= 0 || idx >= d.cirLen*d.cfg.Upsample-1 {
 		return 0
 	}
-	window := []float64{cmplx.Abs(y[i-1]), cmplx.Abs(y[i]), cmplx.Abs(y[i+1])}
+	window := []float64{cmplx.Abs(y3[0]), cmplx.Abs(y3[1]), cmplx.Abs(y3[2])}
 	return dsp.InterpolatePeak(window, 1)
 }
 

@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// bluesteinConvolve computes the linear convolution of a and b by running
+// an exact-length circular convolution on a Bluestein DFTPlan — the
+// alternative ConvolveWith rejected in favor of padding to the next power
+// of two (see its doc and BenchmarkConvolvePaddedVsBluestein).
+func bluesteinConvolve(tb testing.TB, a, b []complex128) []complex128 {
+	outLen := len(a) + len(b) - 1
+	p, err := NewDFTPlan(outLen)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fa := make([]complex128, outLen)
+	fb := make([]complex128, outLen)
+	copy(fa, a)
+	copy(fb, b)
+	p.Execute(fa)
+	p.Execute(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.ExecuteInverse(fa)
+	return fa
+}
+
+// TestConvolveWithPaddedPlan: for a non-power-of-two convolution length,
+// ConvolveWith on plans padded beyond the minimum must agree with the
+// minimal-plan result (which is bit-identical to Convolve) and with the
+// exact-length Bluestein convolution, to rounding.
+func TestConvolveWithPaddedPlan(t *testing.T) {
+	cases := []struct{ la, lb int }{
+		{61, 4064}, // detector shape: template × up-sampled CIR, outLen 4124
+		{37, 1016}, // non-pow2 outLen 1052, minimal plan 2048
+	}
+	for _, c := range cases {
+		a := randComplex(c.la, uint64(c.la))
+		b := randComplex(c.lb, uint64(c.lb)+1)
+		outLen := c.la + c.lb - 1
+		want := Convolve(a, b)
+		blue := bluesteinConvolve(t, a, b)
+		var scale float64
+		for _, v := range want {
+			scale = math.Max(scale, math.Hypot(real(v), imag(v)))
+		}
+		for _, planLen := range []int{NextPow2(outLen), 4 * NextPow2(outLen)} {
+			p, err := NewFFTPlan(planLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ConvolveWith(make([]complex128, outLen), a, b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if d := cAbs(got[i] - want[i]); d > 1e-9*scale {
+					t.Fatalf("la=%d lb=%d plan=%d: out[%d] = %v, Convolve %v (Δ=%g)",
+						c.la, c.lb, planLen, i, got[i], want[i], d)
+				}
+				if d := cAbs(got[i] - blue[i]); d > 1e-9*scale {
+					t.Fatalf("la=%d lb=%d plan=%d: out[%d] = %v, Bluestein %v (Δ=%g)",
+						c.la, c.lb, planLen, i, got[i], blue[i], d)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkConvolvePaddedVsBluestein backs the padding decision in
+// ConvolveWith and MatchedFilterBank.planFor: a non-power-of-two
+// convolution padded to the next power of two against the same
+// convolution on an exact-length Bluestein DFTPlan (whose every
+// transform runs three power-of-two FFTs of roughly twice the size).
+func BenchmarkConvolvePaddedVsBluestein(bm *testing.B) {
+	const la, lb = 61, 4064 // outLen 4124: pad to 8192, Bluestein inner 16384
+	a := randComplex(la, 1)
+	b := randComplex(lb, 2)
+	outLen := la + lb - 1
+
+	bm.Run("padded-pow2", func(bm *testing.B) {
+		p, err := NewFFTPlan(NextPow2(outLen))
+		if err != nil {
+			bm.Fatal(err)
+		}
+		dst := make([]complex128, outLen)
+		bm.ResetTimer()
+		for i := 0; i < bm.N; i++ {
+			if _, err := ConvolveWith(dst, a, b, p); err != nil {
+				bm.Fatal(err)
+			}
+		}
+	})
+
+	bm.Run("bluestein-exact", func(bm *testing.B) {
+		p, err := NewDFTPlan(outLen)
+		if err != nil {
+			bm.Fatal(err)
+		}
+		fa := make([]complex128, outLen)
+		fb := make([]complex128, outLen)
+		bm.ResetTimer()
+		for i := 0; i < bm.N; i++ {
+			clear(fa)
+			clear(fb)
+			copy(fa, a)
+			copy(fb, b)
+			p.Execute(fa)
+			p.Execute(fb)
+			for i := range fa {
+				fa[i] *= fb[i]
+			}
+			p.ExecuteInverse(fa)
+		}
+	})
+}

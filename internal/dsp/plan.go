@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 )
 
 // This file implements plan-cached transforms for the detector hot path.
@@ -321,9 +322,15 @@ func (p *UpsamplePlan) Execute(dst, v []complex128) []complex128 {
 
 // ConvolveWith is the plan-aware counterpart of Convolve: it writes the
 // full linear convolution of a and b into dst (which must have length
-// len(a)+len(b)-1) and returns dst. The plan length must be
-// NextPow2(len(dst)); small inputs take the same direct path Convolve
-// takes, so results are bit-identical. Either input being empty leaves dst
+// len(a)+len(b)-1) and returns dst. The plan must be a power-of-two plan
+// of length ≥ len(dst): a non-power-of-two convolution length is padded up
+// to the plan size rather than transformed at its exact length, because an
+// exact-length Bluestein DFTPlan costs ~3 power-of-two FFTs of twice the
+// size per transform (see BenchmarkConvolvePaddedVsBluestein). With the
+// minimal plan, NextPow2(len(dst)), results are bit-identical to Convolve;
+// a larger plan computes the same linear convolution with only rounding-
+// level differences (the extra bins are zero-padding). Small inputs take
+// the same direct path Convolve takes. Either input being empty leaves dst
 // untouched and returns nil.
 func ConvolveWith(dst, a, b []complex128, p *FFTPlan) ([]complex128, error) {
 	if len(a) == 0 || len(b) == 0 {
@@ -345,10 +352,10 @@ func ConvolveWith(dst, a, b []complex128, p *FFTPlan) ([]complex128, error) {
 		}
 		return dst, nil
 	}
-	m := NextPow2(outLen)
-	if p == nil || p.n != m {
-		return nil, fmt.Errorf("dsp: convolution of %d+%d samples needs a plan of length %d", len(a), len(b), m)
+	if p == nil || p.n < outLen {
+		return nil, fmt.Errorf("dsp: convolution of %d+%d samples needs a plan of length ≥ %d", len(a), len(b), outLen)
 	}
+	m := p.n
 	if cap(p.fa) < m {
 		p.fa = make([]complex128, m)
 		p.fb = make([]complex128, m)
@@ -399,8 +406,12 @@ func MatchedFilterWith(dst, r, template []complex128, p *FFTPlan) ([]complex128,
 // instead of 2T forward FFTs. Outputs are bit-identical to
 // MatchedFilter(sig, template[t]).
 //
-// Transform/FilterInto share internal scratch buffers; a bank is not safe
-// for concurrent use.
+// Transform/FilterInto share internal scratch buffers; those two methods
+// are not safe for concurrent use. FilterPeak, however, takes caller-owned
+// scratch (NewScratch) and touches only read-only plan state and atomic
+// counters, so between two Transforms any number of goroutines may run
+// FilterPeak concurrently — the fan-out the detector's parallel template
+// search relies on.
 type MatchedFilterBank struct {
 	sigLen int
 	tmpls  []bankTemplate
@@ -411,7 +422,14 @@ type MatchedFilterBank struct {
 	full   []complex128   // scratch for the full convolution
 	ready  bool
 
-	transforms, filters int64 // execution counters (single-goroutine, like the bank)
+	transforms, filters atomic.Int64 // execution counters
+}
+
+// SkipInterval is one inclusive index range [Lo, Hi] a peak scan must
+// ignore — the detector's suppression guard around already-extracted
+// responses, precomputed once per round instead of re-checked per sample.
+type SkipInterval struct {
+	Lo, Hi int
 }
 
 type bankTemplate struct {
@@ -462,7 +480,12 @@ func NewMatchedFilterBank(templates [][]complex128, sigLen int) (*MatchedFilterB
 }
 
 // planFor returns (building on demand) the shared plan for FFT size m,
-// along with a signal-spectrum buffer of the same size.
+// along with a signal-spectrum buffer of the same size. Callers always
+// pass NextPow2 of the convolution length: padding a non-power-of-two
+// length up to the next power of two costs at most a 2× longer radix-2
+// transform, while an exact-length Bluestein DFTPlan runs three
+// power-of-two FFTs of length ≥ 2n−1 per transform — about 3× slower
+// (measured by BenchmarkConvolvePaddedVsBluestein).
 func (b *MatchedFilterBank) planFor(m int) (*FFTPlan, error) {
 	for i, s := range b.sizes {
 		if s == m {
@@ -488,8 +511,8 @@ func (b *MatchedFilterBank) NumTemplates() int { return len(b.tmpls) }
 // Transforms and Filters return how many signals were ingested and how
 // many template filterings ran since the bank was built — plan-level
 // observability for the instrumentation layer.
-func (b *MatchedFilterBank) Transforms() int64 { return b.transforms }
-func (b *MatchedFilterBank) Filters() int64    { return b.filters }
+func (b *MatchedFilterBank) Transforms() int64 { return b.transforms.Load() }
+func (b *MatchedFilterBank) Filters() int64    { return b.filters.Load() }
 
 // Transform ingests a signal of the bank's length: it computes the
 // signal's spectrum once per distinct convolution size. Subsequent
@@ -506,7 +529,7 @@ func (b *MatchedFilterBank) Transform(sig []complex128) error {
 		p.transform(spec, p.fwd)
 	}
 	b.ready = true
-	b.transforms++
+	b.transforms.Add(1)
 	return nil
 }
 
@@ -525,7 +548,7 @@ func (b *MatchedFilterBank) FilterInto(dst []complex128, t int) ([]complex128, e
 		return nil, fmt.Errorf("dsp: bank output needs %d samples, got %d", b.sigLen, len(dst))
 	}
 	dst = dst[:b.sigLen]
-	b.filters++
+	b.filters.Add(1)
 	bt := b.tmpls[t]
 	start := len(bt.taps) - 1
 	outLen := len(bt.taps) + b.sigLen - 1
@@ -560,4 +583,103 @@ func (b *MatchedFilterBank) FilterInto(dst []complex128, t int) ([]complex128, e
 	Scale(prod, complex(1/float64(bt.m), 0))
 	copy(dst, prod[start:outLen])
 	return dst, nil
+}
+
+// NewScratch returns a scratch buffer sized for FilterPeak (one full
+// convolution of the longest template). Allocate one per goroutine:
+// FilterPeak never touches bank-owned scratch.
+func (b *MatchedFilterBank) NewScratch() []complex128 {
+	return make([]complex128, len(b.full))
+}
+
+// FilterPeak matched-filters template t against the last Transform-ed
+// signal and returns the strongest output sample outside the skip
+// intervals: its output index (-1 when every sample is skipped or zero),
+// its squared magnitude, and the three output samples centered on it
+// (zero where the signal window ends). The magnitude scan is fused into
+// the inverse-FFT output pass — each scaled sample is consumed as it is
+// produced instead of being written out and re-read in a second O(n)
+// sweep — and every consumed value is bit-identical to the corresponding
+// FilterInto output sample (`prod[x] * invM` is the exact float operation
+// Scale applies).
+//
+// skip must hold inclusive, ascending, disjoint output-index intervals.
+// scratch must be at least NewScratch-sized. FilterPeak only reads bank
+// state (plus one atomic counter), so between two Transforms any number
+// of goroutines may call it concurrently, each with its own scratch.
+func (b *MatchedFilterBank) FilterPeak(scratch []complex128, t int, skip []SkipInterval) (int, float64, [3]complex128, error) {
+	var y3 [3]complex128
+	if !b.ready {
+		return -1, 0, y3, fmt.Errorf("dsp: FilterPeak before Transform")
+	}
+	if t < 0 || t >= len(b.tmpls) {
+		return -1, 0, y3, fmt.Errorf("dsp: template index %d outside bank of %d", t, len(b.tmpls))
+	}
+	if len(scratch) < len(b.full) {
+		return -1, 0, y3, fmt.Errorf("dsp: FilterPeak scratch needs %d samples, got %d", len(b.full), len(scratch))
+	}
+	b.filters.Add(1)
+	bt := b.tmpls[t]
+	start := len(bt.taps) - 1
+	var out []complex128
+	scale := complex(1, 0)
+	if bt.spec == nil {
+		// Direct path, mirroring Convolve's small-input routing; the
+		// outputs carry no FFT normalization, so scale stays 1.
+		outLen := len(bt.taps) + b.sigLen - 1
+		full := scratch[:outLen]
+		clear(full)
+		for i, av := range bt.taps {
+			if av == 0 {
+				continue
+			}
+			for j, bv := range b.sig {
+				full[i+j] += av * bv
+			}
+		}
+		out = full
+	} else {
+		var plan *FFTPlan
+		var sigSpec []complex128
+		for i, s := range b.sizes {
+			if s == bt.m {
+				plan, sigSpec = b.plans[i], b.specs[i]
+				break
+			}
+		}
+		prod := scratch[:bt.m]
+		for i := range prod {
+			prod[i] = bt.spec[i] * sigSpec[i]
+		}
+		plan.transform(prod, plan.inv)
+		out = prod
+		scale = complex(1/float64(bt.m), 0)
+	}
+	bestIdx, bestSq := -1, 0.0
+	si := 0
+	for i := 0; i < b.sigLen; i++ {
+		for si < len(skip) && skip[si].Hi < i {
+			si++
+		}
+		if si < len(skip) && skip[si].Lo <= i {
+			i = skip[si].Hi // loop increment moves past the interval
+			continue
+		}
+		v := out[start+i] * scale
+		sq := real(v)*real(v) + imag(v)*imag(v)
+		if sq > bestSq {
+			bestIdx, bestSq = i, sq
+		}
+	}
+	if bestIdx < 0 {
+		return -1, 0, y3, nil
+	}
+	y3[1] = out[start+bestIdx] * scale
+	if bestIdx > 0 {
+		y3[0] = out[start+bestIdx-1] * scale
+	}
+	if bestIdx < b.sigLen-1 {
+		y3[2] = out[start+bestIdx+1] * scale
+	}
+	return bestIdx, bestSq, y3, nil
 }

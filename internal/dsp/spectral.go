@@ -1,0 +1,281 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// SpectralBank maintains the matched-filter search state of the detector's
+// search-and-subtract loop entirely in the frequency domain, so that each
+// extraction round costs zero forward transforms instead of one upsample
+// FFT plus one residual FFT per distinct convolution size.
+//
+// The residual's up-sampled spectrum R(f) is computed once per Detect
+// (Ingest). After each extracted response the detector calls ShiftSubtract,
+// which applies the DFT shift theorem analytically:
+//
+//	R'(f) = R(f) − α̂ · e^{−j2πfτ̂/M} · S_t(f)
+//
+// where S_t(f) is the template's spectrum — recovered from the bank's
+// conjugated matched-filter taps spectrum A_t(f) via
+// S_t(f) = conj(A_t(f))·ω^{f(L_t−1)}, ω = e^{−j2π/M} — and τ̂ is the
+// refined (fractional) peak position on the up-sampled grid. ScanBest then
+// evaluates every template's matched-filter output against the maintained
+// spectrum with a single inverse FFT per template and a fused peak scan.
+//
+// The circular transform length M = NextPow2(sigLen) is smaller than the
+// MatchedFilterBank's linear convolution length NextPow2(sigLen+L_t−1);
+// the wrapped convolution tail is corrected exactly from a maintained
+// prefix of the time-domain signal (see scan, overlap-save identity).
+//
+// Because the fractional shift is the spectrum of the *continuous* pulse
+// resampled on the up-sampled grid — not of the T_s-rendered pulse pushed
+// through FFT interpolation — the maintained spectrum is an approximation
+// of the true residual spectrum: a 900 MHz pulse sampled at 1.0016 ns is
+// slightly aliased, and the periodic interpolation bleeds into the FFT
+// padding bins. The detector therefore uses ScanBest only for the coarse
+// peak search (which merely has to land in the right basin) and keeps
+// refinement, amplitude estimation and thresholding on the exactly
+// maintained T_s-domain residual.
+//
+// Ingest and ShiftSubtract mutate shared state; ScanBest only reads it
+// (plus atomic counters) and takes caller-owned scratch, so between
+// mutations any number of goroutines may scan concurrently.
+type SpectralBank struct {
+	sigLen  int
+	m       int
+	plan    *FFTPlan
+	spec    []complex128 // maintained spectrum of the current signal
+	prefix  []complex128 // maintained signal[0:maxTail] for tail correction
+	maxTail int
+	tmpls   []spectralTemplate
+
+	ingests, shifts, scans atomic.Int64
+}
+
+type spectralTemplate struct {
+	taps   []complex128 // conjugated time-reversed template
+	spec   []complex128 // FFT_M of zero-padded taps
+	tail   int          // wrapped convolution samples: sigLen+len(taps)-1-m, ≥ 0
+	center int          // (len(template)-1)/2
+}
+
+// NewSpectralBank builds the frequency-domain search state for the given
+// templates and up-sampled signal length. Every template must be non-empty
+// and shorter than the signal.
+func NewSpectralBank(templates [][]complex128, sigLen int) (*SpectralBank, error) {
+	if sigLen < 1 {
+		return nil, fmt.Errorf("dsp: spectral bank needs a positive signal length, got %d", sigLen)
+	}
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("dsp: spectral bank needs at least one template")
+	}
+	m := NextPow2(sigLen)
+	plan, err := NewFFTPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	b := &SpectralBank{
+		sigLen: sigLen,
+		m:      m,
+		plan:   plan,
+		spec:   make([]complex128, m),
+		tmpls:  make([]spectralTemplate, len(templates)),
+	}
+	for i, t := range templates {
+		if len(t) == 0 {
+			return nil, fmt.Errorf("dsp: empty template %d", i)
+		}
+		if len(t) > sigLen {
+			return nil, fmt.Errorf("dsp: template %d longer (%d) than the signal (%d)", i, len(t), sigLen)
+		}
+		taps := MatchedFilterTaps(t)
+		spec := make([]complex128, m)
+		copy(spec, taps)
+		plan.transform(spec, plan.fwd)
+		tail := sigLen + len(taps) - 1 - m
+		if tail < 0 {
+			tail = 0
+		}
+		b.maxTail = max(b.maxTail, tail)
+		b.tmpls[i] = spectralTemplate{
+			taps:   taps,
+			spec:   spec,
+			tail:   tail,
+			center: (len(t) - 1) / 2,
+		}
+	}
+	b.prefix = make([]complex128, b.maxTail)
+	return b, nil
+}
+
+// SignalLen returns the signal length the bank was built for.
+func (b *SpectralBank) SignalLen() int { return b.sigLen }
+
+// NumTemplates returns the number of templates in the bank.
+func (b *SpectralBank) NumTemplates() int { return len(b.tmpls) }
+
+// PrefixLen returns how many leading time-domain signal samples the bank
+// maintains for overlap-save tail correction; ShiftSubtract's eval
+// callback is queried over exactly this range.
+func (b *SpectralBank) PrefixLen() int { return b.maxTail }
+
+// Ingests, ShiftSubtracts and Scans return how many signals were ingested,
+// how many analytic spectrum updates were applied and how many template
+// scans ran since the bank was built — plan-level observability.
+func (b *SpectralBank) Ingests() int64        { return b.ingests.Load() }
+func (b *SpectralBank) ShiftSubtracts() int64 { return b.shifts.Load() }
+func (b *SpectralBank) Scans() int64          { return b.scans.Load() }
+
+// NewScratch returns a scratch buffer sized for ScanBest. Allocate one per
+// goroutine; ScanBest never touches bank-owned scratch.
+func (b *SpectralBank) NewScratch() []complex128 {
+	return make([]complex128, b.m+b.maxTail)
+}
+
+// Ingest replaces the maintained state with a fresh signal: one forward
+// FFT plus a copy of the tail-correction prefix. Called once per Detect.
+func (b *SpectralBank) Ingest(sig []complex128) error {
+	if len(sig) != b.sigLen {
+		return fmt.Errorf("dsp: spectral bank built for %d-sample signals, got %d", b.sigLen, len(sig))
+	}
+	clear(b.spec)
+	copy(b.spec, sig)
+	b.plan.transform(b.spec, b.plan.fwd)
+	copy(b.prefix, sig[:b.maxTail])
+	b.ingests.Add(1)
+	return nil
+}
+
+// ShiftSubtract updates the maintained spectrum for the subtraction of
+// amp·s_t(x − finePos) (template t's continuous pulse centered at the
+// fractional signal index finePos) via the DFT shift theorem, with no
+// transform. eval must return the sample of the subtracted pulse at signal
+// index x — the bank cannot evaluate the continuous pulse itself — and is
+// queried only over [0, PrefixLen()) to keep the tail-correction prefix in
+// step; eval may be nil when the pulse provably vanishes there.
+func (b *SpectralBank) ShiftSubtract(t int, amp complex128, finePos float64, eval func(x int) complex128) error {
+	if t < 0 || t >= len(b.tmpls) {
+		return fmt.Errorf("dsp: template index %d outside bank of %d", t, len(b.tmpls))
+	}
+	st := b.tmpls[t]
+	// S_t(f)·e^{−j2πf·shift/M} = conj(A_t(f))·ω^{f·u} with
+	// u = shift + L_t − 1 and shift = finePos − center: the template's
+	// first tap sits at signal index finePos − center.
+	u := finePos - float64(st.center) + float64(len(st.taps)-1)
+	step := -2 * math.Pi * u / float64(b.m)
+	wBase := complex(math.Cos(step), math.Sin(step))
+	w := complex(1, 0)
+	// A fractional shift must phase-rotate by the *signed* frequency: bin
+	// f > M/2 represents frequency f−M, whose factor e^{−j2π(f−M)u/M}
+	// differs from the unsigned ω^{fu} by e^{+j2πu} — exactly 1 for
+	// integer shifts, anything at all for fractional ones. The Nyquist
+	// bin is split between both branches, matching the upsampler's
+	// real-preserving convention.
+	theta := 2 * math.Pi * u
+	corr := complex(math.Cos(theta), math.Sin(theta))
+	half := b.m / 2
+	spec := b.spec
+	for f := range spec {
+		a := st.spec[f]
+		df := amp * complex(real(a), -imag(a)) * w
+		switch {
+		case f > half:
+			df *= corr
+		case f == half:
+			df *= (1 + corr) / 2
+		}
+		spec[f] -= df
+		w *= wBase
+	}
+	if eval != nil {
+		for x := range b.prefix {
+			b.prefix[x] -= eval(x)
+		}
+	}
+	b.shifts.Add(1)
+	return nil
+}
+
+// ScanBest matched-filters template t against the maintained spectrum and
+// returns the strongest output sample outside the skip intervals: its
+// output index (-1 when every sample is skipped or zero), its squared
+// magnitude, and the three output samples centered on it (zero where the
+// signal window ends). Output indexing matches MatchedFilterBank: index i
+// is the matched-filter output at signal sample i.
+//
+// One inverse FFT of length M computes the circular convolution; the
+// samples the wrap-around corrupts (the last tail_t outputs) are repaired
+// with the overlap-save identity full[M+j] = circ[j] − full[j], where the
+// linear-convolution prefix full[j] (j < tail_t ≤ L_t−1) is recomputed
+// directly from the maintained signal prefix. skip must hold inclusive,
+// ascending, disjoint output-index intervals; scratch must be at least
+// NewScratch-sized.
+func (b *SpectralBank) ScanBest(scratch []complex128, t int, skip []SkipInterval) (int, float64, [3]complex128, error) {
+	var y3 [3]complex128
+	if t < 0 || t >= len(b.tmpls) {
+		return -1, 0, y3, fmt.Errorf("dsp: template index %d outside bank of %d", t, len(b.tmpls))
+	}
+	if len(scratch) < b.m+b.maxTail {
+		return -1, 0, y3, fmt.Errorf("dsp: ScanBest scratch needs %d samples, got %d", b.m+b.maxTail, len(scratch))
+	}
+	b.scans.Add(1)
+	st := b.tmpls[t]
+	prod := scratch[:b.m]
+	for f := range prod {
+		prod[f] = st.spec[f] * b.spec[f]
+	}
+	b.plan.transform(prod, b.plan.inv)
+	scale := complex(1/float64(b.m), 0)
+	// Linear-convolution prefix for the wrapped tail: full[j] for
+	// j < tail only involves taps[0..j] and signal[0..j], both ≤ prefix.
+	fp := scratch[b.m : b.m+st.tail]
+	for j := range fp {
+		var s complex128
+		for k := 0; k <= j && k < len(st.taps); k++ {
+			s += st.taps[k] * b.prefix[j-k]
+		}
+		fp[j] = s
+	}
+	start := len(st.taps) - 1
+	wrapFrom := b.m - start // first output index whose sample wrapped
+	bestIdx, bestSq := -1, 0.0
+	si := 0
+	for i := 0; i < b.sigLen; i++ {
+		for si < len(skip) && skip[si].Hi < i {
+			si++
+		}
+		if si < len(skip) && skip[si].Lo <= i {
+			i = skip[si].Hi // loop increment moves past the interval
+			continue
+		}
+		v := b.sampleAt(prod, fp, scale, start, wrapFrom, i)
+		sq := real(v)*real(v) + imag(v)*imag(v)
+		if sq > bestSq {
+			bestIdx, bestSq = i, sq
+		}
+	}
+	if bestIdx < 0 {
+		return -1, 0, y3, nil
+	}
+	y3[1] = b.sampleAt(prod, fp, scale, start, wrapFrom, bestIdx)
+	if bestIdx > 0 {
+		y3[0] = b.sampleAt(prod, fp, scale, start, wrapFrom, bestIdx-1)
+	}
+	if bestIdx < b.sigLen-1 {
+		y3[2] = b.sampleAt(prod, fp, scale, start, wrapFrom, bestIdx+1)
+	}
+	return bestIdx, bestSq, y3, nil
+}
+
+// sampleAt returns matched-filter output i from the raw circular
+// convolution, applying the overlap-save tail correction where the linear
+// index start+i exceeds the transform length.
+func (b *SpectralBank) sampleAt(prod, fp []complex128, scale complex128, start, wrapFrom, i int) complex128 {
+	if i < wrapFrom {
+		return prod[start+i] * scale
+	}
+	j := start + i - b.m
+	return prod[j]*scale - fp[j]
+}

@@ -28,11 +28,15 @@ type RunReport struct {
 	// (Trials 0 = each experiment's paper-faithful default).
 	Seed   uint64 `json:"seed"`
 	Trials int    `json:"trials"`
-	// GoVersion, GOOS, GOARCH, and NumCPU describe the host.
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
+	// GoVersion, GOOS, GOARCH, NumCPU, and GOMAXPROCS describe the host.
+	// GOMAXPROCS is the effective parallelism at run time (what the
+	// detector's template fan-out actually gets), which NumCPU alone
+	// cannot tell on a capped container.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
 	// StartTime is the wall-clock start in RFC 3339 (wall-time field).
 	StartTime string `json:"start_time,omitempty"`
 	// WallSeconds is the total elapsed time (wall-time field).
@@ -68,15 +72,16 @@ type RuntimeStats struct {
 // fields and start time.
 func NewRunReport(tool string, seed uint64, trials int) *RunReport {
 	return &RunReport{
-		Schema:    ReportSchemaVersion,
-		Tool:      tool,
-		Seed:      seed,
-		Trials:    trials,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		StartTime: time.Now().UTC().Format(time.RFC3339),
+		Schema:     ReportSchemaVersion,
+		Tool:       tool,
+		Seed:       seed,
+		Trials:     trials,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		StartTime:  time.Now().UTC().Format(time.RFC3339),
 	}
 }
 
