@@ -58,10 +58,12 @@ repro:
 	$(GO) run ./cmd/reportcheck results/crbench-seed1.json
 
 # Fast end-to-end check of the instrumented pipeline: a tiny run must
-# produce a valid, non-empty report.
+# produce a valid, non-empty report and a triage-able flight-recorder
+# trace.
 smoke:
-	$(GO) run ./cmd/crbench -trials 3 -json results/smoke-report.json sec5 campaign
+	$(GO) run ./cmd/crbench -trials 3 -json results/smoke-report.json -tracefile results/smoke-trace.jsonl sec5 campaign
 	$(GO) run ./cmd/reportcheck results/smoke-report.json
+	$(GO) run ./cmd/crtrace results/smoke-trace.jsonl
 
 fuzz:
 	$(GO) test ./internal/dsp -fuzz FuzzFFTRoundTrip -fuzztime 30s

@@ -23,6 +23,11 @@
 //   - -pprof addr serves net/http/pprof and expvar (/debug/vars exposes the
 //     metrics registry as "crmetrics") on the given address for the run's
 //     duration; use addr "localhost:0" for an ephemeral port.
+//   - -tracefile path streams the detection flight recorder to a JSONL
+//     trace: campaign/round spans with ground truth plus one structured
+//     event per detector search-and-subtract iteration. -trace-sample N
+//     records every Nth root span (campaigns stream millions of events
+//     otherwise). Analyze with crtrace.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 
 	"github.com/uwb-sim/concurrent-ranging/internal/experiments"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 )
 
 type runner func(trials int, seed uint64) (string, error)
@@ -195,8 +201,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable run report to this `path`")
 	progress := flag.Bool("progress", false, "stream live trial progress to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this `address`")
+	traceFile := flag.String("tracefile", "", "stream the detection flight recorder to this JSONL `file` (analyze with crtrace)")
+	traceSample := flag.Int("trace-sample", 1, "record every Nth root span in the flight recorder")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: crbench [-trials N] [-seed S] [-json path] [-progress] [-pprof addr] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: crbench [-trials N] [-seed S] [-json path] [-progress] [-pprof addr] [-tracefile path] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s (default: all)\n", strings.Join(order, " "))
 		flag.PrintDefaults()
 	}
@@ -206,13 +214,15 @@ func main() {
 		names = order
 	}
 	cfg := runConfig{
-		Trials:    *trials,
-		Seed:      *seed,
-		JSONPath:  *jsonPath,
-		Progress:  *progress,
-		PprofAddr: *pprofAddr,
-		Stdout:    os.Stdout,
-		Stderr:    os.Stderr,
+		Trials:      *trials,
+		Seed:        *seed,
+		JSONPath:    *jsonPath,
+		Progress:    *progress,
+		PprofAddr:   *pprofAddr,
+		TraceFile:   *traceFile,
+		TraceSample: *traceSample,
+		Stdout:      os.Stdout,
+		Stderr:      os.Stderr,
 	}
 	if _, err := run(names, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "crbench:", err)
@@ -223,19 +233,21 @@ func main() {
 // runConfig collects the flag-derived settings so tests can drive run
 // without a process.
 type runConfig struct {
-	Trials    int
-	Seed      uint64
-	JSONPath  string
-	Progress  bool
-	PprofAddr string
-	Stdout    io.Writer
-	Stderr    io.Writer
+	Trials      int
+	Seed        uint64
+	JSONPath    string
+	Progress    bool
+	PprofAddr   string
+	TraceFile   string
+	TraceSample int
+	Stdout      io.Writer
+	Stderr      io.Writer
 }
 
 // run executes the named experiments under full instrumentation and
 // returns the populated run report (also written to cfg.JSONPath when
 // set). Unknown names fail before any experiment does work.
-func run(names []string, cfg runConfig) (*obs.RunReport, error) {
+func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 	selected := make([]runner, len(names))
 	for i, name := range names {
 		r, ok := runners[strings.ToLower(name)]
@@ -253,14 +265,35 @@ func run(names []string, cfg runConfig) (*obs.RunReport, error) {
 		}
 		fmt.Fprintf(cfg.Stderr, "crbench: debug server on http://%s/debug/pprof/\n", addr)
 	}
+	var flight *trace.Tracer
+	if cfg.TraceFile != "" {
+		f, ferr := os.Create(cfg.TraceFile)
+		if ferr != nil {
+			return nil, fmt.Errorf("tracefile: %w", ferr)
+		}
+		flight = trace.New(trace.Config{Writer: f, SampleEvery: cfg.TraceSample})
+		defer func() {
+			ferr := flight.Flush()
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+			if ferr != nil && err == nil {
+				report, err = nil, fmt.Errorf("tracefile: %w", ferr)
+			}
+			st := flight.Stats()
+			fmt.Fprintf(cfg.Stderr, "crbench: trace: %d events, %d/%d root spans sampled -> %s\n",
+				st.Events, st.RootSpans-st.SampledOut, st.RootSpans, cfg.TraceFile)
+		}()
+	}
 	printer := newProgressPrinter(cfg.Stderr, cfg.Progress)
 	experiments.SetInstrumentation(&experiments.Instrumentation{
 		Recorder: reg,
 		Progress: printer.update,
+		Flight:   flight,
 	})
 	defer experiments.SetInstrumentation(nil)
 
-	report := obs.NewRunReport("crbench", cfg.Seed, cfg.Trials)
+	report = obs.NewRunReport("crbench", cfg.Seed, cfg.Trials)
 	start := time.Now()
 	for i, name := range names {
 		printer.setLabel(name)

@@ -15,6 +15,13 @@
 // -pprof addr serves net/http/pprof and expvar on the given address
 // (/debug/vars exposes the session's metrics registry as "crmetrics") for
 // profiling long -rounds runs; addr "localhost:0" picks an ephemeral port.
+//
+// -tracefile path streams the detection flight recorder to a JSONL trace:
+// one span per ranging round carrying the trial's ground truth, nested
+// protocol and detector spans, and one structured event per
+// search-and-subtract iteration. -trace-sample N records every Nth round.
+// Analyze the file with crtrace (triage table, span dumps, Chrome trace
+// export).
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"strings"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 	"github.com/uwb-sim/concurrent-ranging/ranging"
 )
 
@@ -77,7 +85,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var resps responderFlags
 	env := flag.String("env", ranging.EnvHallway, "environment preset (free-space, hallway, office, industrial)")
 	initPos := flag.String("init", "1,1", "initiator position x,y in meters")
@@ -87,7 +95,9 @@ func run() error {
 	ideal := flag.Bool("ideal", false, "disable the DW1000 8 ns delayed-TX quantization")
 	rounds := flag.Int("rounds", 1, "number of ranging rounds to run")
 	configPath := flag.String("config", "", "JSON scenario file (replaces the geometry flags)")
-	trace := flag.Bool("trace", false, "print the protocol event timeline of each round")
+	timeline := flag.Bool("trace", false, "print the protocol event timeline of each round")
+	traceFile := flag.String("tracefile", "", "stream the detection flight recorder to this JSONL `file` (analyze with crtrace)")
+	traceSample := flag.Int("trace-sample", 1, "record every Nth round in the flight recorder")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this `address`")
 	flag.Var(&resps, "resp", "responder as ID:x,y (repeatable)")
 	flag.Parse()
@@ -128,8 +138,28 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *trace {
+	if *timeline {
 		session.SetTracer(func(e ranging.TraceEvent) { fmt.Println("  " + e.String()) })
+	}
+	if *traceFile != "" {
+		f, ferr := os.Create(*traceFile)
+		if ferr != nil {
+			return fmt.Errorf("tracefile: %w", ferr)
+		}
+		tr := trace.New(trace.Config{Writer: f, SampleEvery: *traceSample})
+		session.SetFlightRecorder(tr)
+		defer func() {
+			ferr := tr.Flush()
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+			if ferr != nil && err == nil {
+				err = fmt.Errorf("tracefile: %w", ferr)
+			}
+			st := tr.Stats()
+			fmt.Fprintf(os.Stderr, "crsim: trace: %d events, %d/%d rounds sampled -> %s\n",
+				st.Events, st.RootSpans-st.SampledOut, st.RootSpans, *traceFile)
+		}()
 	}
 	if *pprofAddr != "" {
 		reg := obs.NewRegistry()

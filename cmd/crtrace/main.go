@@ -1,0 +1,143 @@
+// Command crtrace analyzes detection flight-recorder traces (the JSONL
+// streams crsim/crbench write with -tracefile). Its default mode joins
+// every session.round span with the ground truth its begin event carries
+// and classifies each measurement and each missed responder into a triage
+// class — ok, missed-response, false-path, shape-misid, slot-collision,
+// round-error — printing a table with per-class counts and one exemplar
+// span ID, so a rare failure in a large campaign can be located and then
+// replayed with -span.
+//
+// Usage:
+//
+//	crtrace [-tol meters] trace.jsonl        triage table
+//	crtrace -span 17 trace.jsonl             dump one span tree
+//	crtrace -chrome out.json trace.jsonl     convert to Chrome trace format
+//
+// -tol is the distance tolerance (meters) for matching a measurement to a
+// responder's true distance. Exit status 0 when the trace parsed (failures
+// are findings, not errors); 1 on unreadable input; pass -fail to exit 1
+// when any non-ok finding exists (CI sanity gates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
+)
+
+func main() {
+	tol := flag.Float64("tol", 1.0, "distance tolerance in meters for matching measurements to ground truth")
+	spanID := flag.Uint64("span", 0, "dump the events of the span tree rooted at this span ID")
+	chromeOut := flag.String("chrome", "", "write the trace in Chrome trace-event format to this file")
+	failOnFindings := flag.Bool("fail", false, "exit 1 when any non-ok finding exists")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: crtrace [-tol meters] [-span id] [-chrome out.json] [-fail] trace.jsonl")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *tol, *spanID, *chromeOut, *failOnFindings); err != nil {
+		fmt.Fprintf(os.Stderr, "crtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, tol float64, spanID uint64, chromeOut string, failOnFindings bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadEvents(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if chromeOut != "" {
+		out, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(out, events); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(events), chromeOut)
+		return nil
+	}
+	if spanID != 0 {
+		return dumpSpan(os.Stdout, events, spanID)
+	}
+	t := RunTriage(events, tol)
+	printTriage(os.Stdout, path, len(events), t)
+	if failOnFindings && t.FailureCount() > 0 {
+		return fmt.Errorf("%d failure findings", t.FailureCount())
+	}
+	return nil
+}
+
+func printTriage(w *os.File, path string, events int, t *Triage) {
+	fmt.Fprintf(w, "%s: %d events, %d session rounds, %d findings\n\n",
+		path, events, t.Rounds, len(t.Findings))
+	if len(t.Findings) == 0 {
+		fmt.Fprintln(w, "no session.round spans found (was the trace written with -tracefile on a ranging run?)")
+		return
+	}
+	fmt.Fprintf(w, "%-16s %6s %6s  %s\n", "class", "count", "share", "exemplar")
+	for _, class := range t.Classes() {
+		fs := t.ByClass(class)
+		share := 100 * float64(len(fs)) / float64(len(t.Findings))
+		exemplar := "-"
+		if class != ClassOK {
+			f := fs[0]
+			exemplar = fmt.Sprintf("span %d (seed %d round %d): %s",
+				f.Round.Span, f.Round.Seed, f.Round.Index, f.Detail)
+		}
+		fmt.Fprintf(w, "%-16s %6d %5.1f%%  %s\n", class, len(fs), share, exemplar)
+	}
+	fmt.Fprintf(w, "\nfailures: %d of %d findings (replay one with -span ID)\n",
+		t.FailureCount(), len(t.Findings))
+}
+
+// dumpSpan prints every event belonging to the span tree rooted at id.
+func dumpSpan(w *os.File, events []trace.Event, id uint64) error {
+	parent := map[uint64]uint64{}
+	for _, ev := range events {
+		if ev.Phase == trace.PhaseBegin {
+			parent[ev.Span] = ev.Parent
+		}
+	}
+	root := func(s uint64) uint64 {
+		for depth := 0; depth < 64; depth++ {
+			p, ok := parent[s]
+			if !ok || p == 0 {
+				return s
+			}
+			s = p
+		}
+		return s
+	}
+	n := 0
+	for _, ev := range events {
+		if root(ev.Span) != id {
+			continue
+		}
+		n++
+		name := ev.Name
+		if ev.Phase == trace.PhaseEnd {
+			name = "end"
+		}
+		fmt.Fprintf(w, "%12.6f  %s  span=%d  %-14s %v\n", ev.TS, ev.Phase, ev.Span, name, ev.Attrs)
+	}
+	if n == 0 {
+		return fmt.Errorf("no events with root span %d (ring buffer may have evicted it)", id)
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
+)
+
+// Failure classes of a concurrent-ranging round, in display order.
+const (
+	ClassOK            = "ok"
+	ClassMissed        = "missed-response"
+	ClassFalsePath     = "false-path"
+	ClassShapeMisID    = "shape-misid"
+	ClassSlotCollision = "slot-collision"
+	ClassRoundError    = "round-error"
+)
+
+// classOrder fixes the triage table's row order.
+var classOrder = []string{
+	ClassOK, ClassMissed, ClassFalsePath, ClassShapeMisID, ClassSlotCollision, ClassRoundError,
+}
+
+// TruthEntry is one responder's ground truth from a session.round begin
+// event.
+type TruthEntry struct {
+	ID, Slot, Shape int
+	Dist            float64
+}
+
+// MeasEntry is one resolved measurement from a session.round end event.
+type MeasEntry struct {
+	ID, Slot, Shape int
+	Dist, TrueM     float64
+	HasTruth        bool
+	Anchor          bool
+}
+
+// Round is one reassembled session.round span.
+type Round struct {
+	Span     uint64
+	Seed     uint64
+	Index    int
+	Capacity int
+	Truth    []TruthEntry
+	Meas     []MeasEntry
+	Status   string
+	Err      string
+	Ended    bool
+}
+
+// Finding is one classified outcome: per measurement, per missed truth,
+// or per errored round.
+type Finding struct {
+	Class  string
+	Round  *Round
+	Detail string
+}
+
+// collectRounds reassembles session.round spans from a trace event stream.
+func collectRounds(events []trace.Event) []*Round {
+	byID := map[uint64]*Round{}
+	var order []uint64
+	for _, ev := range events {
+		switch {
+		case ev.Phase == trace.PhaseBegin && ev.Name == trace.SpanSessionRound:
+			r := &Round{
+				Span:     ev.Span,
+				Seed:     attrUint(ev.Attrs[trace.AttrSeed]),
+				Index:    attrInt(ev.Attrs[trace.AttrRound]),
+				Capacity: attrInt(ev.Attrs[trace.AttrCapacity]),
+			}
+			if list, ok := ev.Attrs[trace.AttrTruth].([]any); ok {
+				for _, entry := range list {
+					m, ok := entry.(map[string]any)
+					if !ok {
+						continue
+					}
+					r.Truth = append(r.Truth, TruthEntry{
+						ID:    attrInt(m[trace.AttrID]),
+						Slot:  attrInt(m[trace.AttrSlot]),
+						Shape: attrInt(m[trace.AttrShape]),
+						Dist:  attrFloat(m[trace.AttrDistM]),
+					})
+				}
+			}
+			byID[ev.Span] = r
+			order = append(order, ev.Span)
+		case ev.Phase == trace.PhaseEnd:
+			r, ok := byID[ev.Span]
+			if !ok {
+				continue
+			}
+			r.Ended = true
+			r.Status, _ = ev.Attrs[trace.AttrStatus].(string)
+			r.Err, _ = ev.Attrs[trace.AttrError].(string)
+			if list, ok := ev.Attrs[trace.AttrMeasurements].([]any); ok {
+				for _, entry := range list {
+					m, ok := entry.(map[string]any)
+					if !ok {
+						continue
+					}
+					me := MeasEntry{
+						ID:    attrInt(m[trace.AttrID]),
+						Slot:  attrInt(m[trace.AttrSlot]),
+						Shape: attrInt(m[trace.AttrShape]),
+						Dist:  attrFloat(m[trace.AttrDistM]),
+						TrueM: attrFloat(m[trace.AttrTrueM]),
+					}
+					me.HasTruth, _ = m[trace.AttrHasTruth].(bool)
+					me.Anchor, _ = m[trace.AttrAnchor].(bool)
+					r.Meas = append(r.Meas, me)
+				}
+			}
+		}
+	}
+	rounds := make([]*Round, 0, len(order))
+	for _, id := range order {
+		rounds = append(rounds, byID[id])
+	}
+	return rounds
+}
+
+// classify joins one round's measurements with its ground truth within the
+// distance tolerance tol (meters) and returns one finding per measurement
+// plus one per missed responder.
+//
+//   - ok: the measurement matches its responder's true distance (and, in
+//     identified mode, the right pulse shape).
+//   - shape-misid: a real path was found but decoded with the wrong pulse
+//     shape, so it was attributed to the wrong identity.
+//   - slot-collision: a real path with the right shape resolved to the
+//     wrong responder — the RPM slot arithmetic collided.
+//   - false-path: no responder's true distance is near the measurement;
+//     the detector extracted a spurious peak.
+//   - missed-response: a responder with ground truth produced no
+//     measurement at all.
+//   - round-error: the round failed outright (e.g. decode failure).
+func classify(r *Round, tol float64) []Finding {
+	if r.Status != "ok" {
+		detail := r.Err
+		if !r.Ended {
+			detail = "round span never ended (truncated trace)"
+		}
+		return []Finding{{Class: ClassRoundError, Round: r, Detail: detail}}
+	}
+	var out []Finding
+	matched := make([]bool, len(r.Truth))
+	for _, m := range r.Meas {
+		// Identified-mode direct hit: the resolver already joined the
+		// measurement to its responder's truth.
+		if m.HasTruth && math.Abs(m.Dist-m.TrueM) <= tol {
+			if ti := truthByID(r.Truth, m.ID); ti >= 0 {
+				matched[ti] = true
+			} else if r.Capacity == 1 {
+				// Anonymous anchor measurement: credit the nearest truth.
+				if ti := nearestTruth(r.Truth, m.Dist, tol); ti >= 0 {
+					matched[ti] = true
+				}
+			}
+			out = append(out, Finding{Class: ClassOK, Round: r,
+				Detail: fmt.Sprintf("id %d at %.2f m", m.ID, m.Dist)})
+			continue
+		}
+		// Anonymous mode carries no identities: any truth within
+		// tolerance makes the measurement good.
+		if r.Capacity == 1 {
+			if ti := nearestTruth(r.Truth, m.Dist, tol); ti >= 0 {
+				matched[ti] = true
+				out = append(out, Finding{Class: ClassOK, Round: r,
+					Detail: fmt.Sprintf("anonymous path at %.2f m", m.Dist)})
+				continue
+			}
+			out = append(out, Finding{Class: ClassFalsePath, Round: r,
+				Detail: fmt.Sprintf("anonymous path at %.2f m matches no responder", m.Dist)})
+			continue
+		}
+		// Identified mode, no direct hit: find the real path this
+		// measurement most plausibly came from.
+		ti := nearestTruth(r.Truth, m.Dist, tol)
+		if ti < 0 {
+			out = append(out, Finding{Class: ClassFalsePath, Round: r,
+				Detail: fmt.Sprintf("id %d at %.2f m matches no responder", m.ID, m.Dist)})
+			continue
+		}
+		tr := r.Truth[ti]
+		matched[ti] = true
+		if m.Shape != tr.Shape {
+			out = append(out, Finding{Class: ClassShapeMisID, Round: r,
+				Detail: fmt.Sprintf("path of id %d (shape %d) decoded as shape %d -> id %d",
+					tr.ID, tr.Shape, m.Shape, m.ID)})
+			continue
+		}
+		out = append(out, Finding{Class: ClassSlotCollision, Round: r,
+			Detail: fmt.Sprintf("path of id %d in slot %d resolved to id %d (slot %d)",
+				tr.ID, tr.Slot, m.ID, m.Slot)})
+	}
+	for i, tr := range r.Truth {
+		if !matched[i] {
+			out = append(out, Finding{Class: ClassMissed, Round: r,
+				Detail: fmt.Sprintf("id %d at %.2f m not detected", tr.ID, tr.Dist)})
+		}
+	}
+	return out
+}
+
+// truthByID returns the index of the truth entry with the given responder
+// ID, or -1.
+func truthByID(truth []TruthEntry, id int) int {
+	for i, t := range truth {
+		if t.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// nearestTruth returns the index of the truth entry closest in distance to
+// d, or -1 when none is within tol.
+func nearestTruth(truth []TruthEntry, d, tol float64) int {
+	best, bestDiff := -1, tol
+	for i, t := range truth {
+		if diff := math.Abs(t.Dist - d); diff <= bestDiff {
+			best, bestDiff = i, diff
+		}
+	}
+	return best
+}
+
+// Triage summarizes findings per class.
+type Triage struct {
+	Rounds   int
+	Findings []Finding
+	byClass  map[string][]Finding
+}
+
+// RunTriage classifies every round of a trace.
+func RunTriage(events []trace.Event, tol float64) *Triage {
+	rounds := collectRounds(events)
+	t := &Triage{Rounds: len(rounds), byClass: map[string][]Finding{}}
+	for _, r := range rounds {
+		for _, f := range classify(r, tol) {
+			t.Findings = append(t.Findings, f)
+			t.byClass[f.Class] = append(t.byClass[f.Class], f)
+		}
+	}
+	return t
+}
+
+// Classes returns the classes present, in canonical order (unknown classes
+// sorted last).
+func (t *Triage) Classes() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range classOrder {
+		if len(t.byClass[c]) > 0 {
+			out = append(out, c)
+			seen[c] = true
+		}
+	}
+	var extra []string
+	for c := range t.byClass {
+		if !seen[c] {
+			extra = append(extra, c)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// ByClass returns the findings of one class.
+func (t *Triage) ByClass(class string) []Finding { return t.byClass[class] }
+
+// FailureCount counts findings in non-ok classes.
+func (t *Triage) FailureCount() int {
+	return len(t.Findings) - len(t.byClass[ClassOK])
+}
+
+// attrInt reads a numeric attribute that may arrive as a Go int (in
+// process) or a float64 (round-tripped through JSON).
+func attrInt(v any) int {
+	switch n := v.(type) {
+	case int:
+		return n
+	case int64:
+		return int(n)
+	case uint64:
+		return int(n)
+	case float64:
+		return int(n)
+	}
+	return 0
+}
+
+func attrUint(v any) uint64 {
+	switch n := v.(type) {
+	case uint64:
+		return n
+	case int:
+		return uint64(n)
+	case int64:
+		return uint64(n)
+	case float64:
+		return uint64(n)
+	}
+	return 0
+}
+
+func attrFloat(v any) float64 {
+	switch n := v.(type) {
+	case float64:
+		return n
+	case int:
+		return float64(n)
+	}
+	return 0
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
+)
+
+// The committed fixture injects exactly one failure of each class across
+// six handcrafted session rounds; the triage pass must classify 100% of
+// them correctly (acceptance gate of the flight-recorder PR).
+func TestTriageClassifiesInjectedFailures(t *testing.T) {
+	f, err := os.Open("testdata/triage.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := RunTriage(events, 1.0)
+
+	if tri.Rounds != 6 {
+		t.Fatalf("rounds = %d, want 6", tri.Rounds)
+	}
+	wantCounts := map[string]int{
+		ClassOK:            3, // rounds 1-3 each range responder 0 correctly
+		ClassMissed:        1,
+		ClassFalsePath:     1,
+		ClassShapeMisID:    1,
+		ClassSlotCollision: 1,
+		ClassRoundError:    1,
+	}
+	total := 0
+	for class, want := range wantCounts {
+		if got := len(tri.ByClass(class)); got != want {
+			t.Errorf("class %s: %d findings, want %d: %+v", class, got, want, tri.ByClass(class))
+		}
+		total += want
+	}
+	if len(tri.Findings) != total {
+		t.Errorf("total findings = %d, want %d", len(tri.Findings), total)
+	}
+	if got := tri.FailureCount(); got != total-wantCounts[ClassOK] {
+		t.Errorf("failure count = %d, want %d", got, total-wantCounts[ClassOK])
+	}
+	// Each failure exemplar must point at the round that injected it.
+	wantSpan := map[string]uint64{
+		ClassMissed:        2,
+		ClassFalsePath:     3,
+		ClassShapeMisID:    4,
+		ClassSlotCollision: 5,
+		ClassRoundError:    6,
+	}
+	for class, span := range wantSpan {
+		fs := tri.ByClass(class)
+		if len(fs) == 0 {
+			continue // already reported above
+		}
+		if fs[0].Round.Span != span {
+			t.Errorf("class %s exemplar span = %d, want %d", class, fs[0].Round.Span, span)
+		}
+	}
+}
+
+func TestClassifyTableCases(t *testing.T) {
+	truth2 := []TruthEntry{
+		{ID: 0, Slot: 0, Shape: 0, Dist: 5},
+		{ID: 1, Slot: 1, Shape: 1, Dist: 9},
+	}
+	cases := []struct {
+		name string
+		r    Round
+		tol  float64
+		want map[string]int
+	}{
+		{
+			name: "all matched",
+			r: Round{Capacity: 12, Status: "ok", Truth: truth2, Meas: []MeasEntry{
+				{ID: 0, Shape: 0, Dist: 5.1, TrueM: 5, HasTruth: true},
+				{ID: 1, Slot: 1, Shape: 1, Dist: 8.9, TrueM: 9, HasTruth: true},
+			}},
+			tol:  1,
+			want: map[string]int{ClassOK: 2},
+		},
+		{
+			name: "anonymous match without identities",
+			r: Round{Capacity: 1, Status: "ok", Truth: truth2, Meas: []MeasEntry{
+				{ID: -1, Dist: 5.2},
+				{ID: -1, Dist: 9.1},
+			}},
+			tol:  1,
+			want: map[string]int{ClassOK: 2},
+		},
+		{
+			name: "anonymous false path",
+			r: Round{Capacity: 1, Status: "ok", Truth: truth2[:1], Meas: []MeasEntry{
+				{ID: -1, Dist: 5.0},
+				{ID: -1, Dist: 20.0},
+			}},
+			tol:  1,
+			want: map[string]int{ClassOK: 1, ClassFalsePath: 1},
+		},
+		{
+			name: "responder out of tolerance counts missed plus false path",
+			r: Round{Capacity: 12, Status: "ok", Truth: truth2[:1], Meas: []MeasEntry{
+				{ID: 0, Shape: 0, Dist: 9.5, TrueM: 5, HasTruth: true},
+			}},
+			tol:  1,
+			want: map[string]int{ClassFalsePath: 1, ClassMissed: 1},
+		},
+		{
+			name: "error round",
+			r:    Round{Status: "error", Err: "boom", Ended: true, Truth: truth2},
+			tol:  1,
+			want: map[string]int{ClassRoundError: 1},
+		},
+		{
+			name: "truncated trace counts as round error",
+			r:    Round{Truth: truth2},
+			tol:  1,
+			want: map[string]int{ClassRoundError: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := map[string]int{}
+			for _, f := range classify(&tc.r, tc.tol) {
+				got[f.Class]++
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("classes = %v, want %v", got, tc.want)
+			}
+			for class, n := range tc.want {
+				if got[class] != n {
+					t.Errorf("class %s = %d, want %d", class, got[class], n)
+				}
+			}
+		})
+	}
+}

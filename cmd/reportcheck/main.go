@@ -7,7 +7,7 @@
 // Usage:
 //
 //	reportcheck report.json [report2.json ...]
-//	reportcheck -compare old.json new.json [-max-regress factor]
+//	reportcheck -compare old.json new.json [-max-regress factor] [-max-quality-drop pp]
 //
 // In -compare mode both reports are validated and the per-experiment wall
 // times of the experiments common to both are compared: the run fails if
@@ -16,6 +16,12 @@
 // experiments don't trip on scheduler noise. CI compares the smoke run
 // against the committed BENCH_* baseline, so a detector-path performance
 // regression fails the build rather than landing silently.
+//
+// -compare also gates detection quality: when both reports carry the
+// ranging session counters (responders found vs expected), the run fails
+// if the detection success rate dropped by more than -max-quality-drop
+// percentage points (default 1). Reports without those counters (runs
+// that never built a ranging session) skip the gate with a notice.
 //
 // Exit status 0 means every report is well-formed (and, with -compare, no
 // regression was found); any defect prints a diagnostic and exits 1.
@@ -27,14 +33,16 @@ import (
 	"os"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/ranging"
 )
 
 func main() {
 	comparePath := flag.String("compare", "", "baseline report to compare wall times against")
 	maxRegress := flag.Float64("max-regress", 4, "fail when an experiment exceeds this factor of its baseline wall time")
+	maxQualityDrop := flag.Float64("max-quality-drop", 1, "fail when the detection success rate drops by more than this many percentage points")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: reportcheck report.json [report2.json ...]")
-		fmt.Fprintln(os.Stderr, "       reportcheck -compare old.json new.json [-max-regress factor]")
+		fmt.Fprintln(os.Stderr, "       reportcheck -compare old.json new.json [-max-regress factor] [-max-quality-drop pp]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,7 +56,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "reportcheck: -compare takes exactly one new report")
 			os.Exit(2)
 		}
-		if err := compare(*comparePath, args[0], *maxRegress); err != nil {
+		if err := compare(*comparePath, args[0], *maxRegress, *maxQualityDrop); err != nil {
 			fmt.Fprintf(os.Stderr, "reportcheck: %v\n", err)
 			os.Exit(1)
 		}
@@ -110,10 +118,15 @@ func check(path string) error {
 const regressGraceSeconds = 0.05
 
 // compare validates both reports and fails if any experiment present in
-// both regressed beyond maxRegress times its baseline wall time.
-func compare(oldPath, newPath string, maxRegress float64) error {
+// both regressed beyond maxRegress times its baseline wall time, or if
+// the detection success rate dropped beyond maxQualityDrop percentage
+// points.
+func compare(oldPath, newPath string, maxRegress, maxQualityDrop float64) error {
 	if maxRegress <= 0 {
 		return fmt.Errorf("-max-regress must be positive, got %g", maxRegress)
+	}
+	if maxQualityDrop < 0 {
+		return fmt.Errorf("-max-quality-drop must be non-negative, got %g", maxQualityDrop)
 	}
 	for _, path := range []string{oldPath, newPath} {
 		if err := check(path); err != nil {
@@ -154,7 +167,44 @@ func compare(oldPath, newPath string, maxRegress float64) error {
 	if failed > 0 {
 		return fmt.Errorf("%d of %d experiments regressed beyond %gx", failed, compared, maxRegress)
 	}
+	if err := compareQuality(oldR, newR, maxQualityDrop); err != nil {
+		return err
+	}
 	fmt.Printf("%s vs %s: %d experiments within %gx\n", newPath, oldPath, compared, maxRegress)
+	return nil
+}
+
+// successRate returns the detection success rate in percent (responders
+// found / responders expected) carried by a report's ranging session
+// counters, or false when the run never recorded them.
+func successRate(r *obs.RunReport) (float64, bool) {
+	expected := r.Metrics.CounterValue(ranging.MetricRespondersExpected)
+	if expected <= 0 {
+		return 0, false
+	}
+	found := r.Metrics.CounterValue(ranging.MetricRespondersFound)
+	return 100 * float64(found) / float64(expected), true
+}
+
+// compareQuality gates the detection success rate: a drop beyond
+// maxQualityDrop percentage points fails the comparison. Reports without
+// the ranging counters skip the gate (sec5/campaign-style runs never
+// build a ranging session), as does a disagreement where only one side
+// has them — a changed experiment list, not a quality signal.
+func compareQuality(oldR, newR *obs.RunReport, maxQualityDrop float64) error {
+	oldRate, oldOK := successRate(oldR)
+	newRate, newOK := successRate(newR)
+	if !oldOK || !newOK {
+		fmt.Printf("quality: ranging counters absent (baseline %v, new %v); gate skipped\n", oldOK, newOK)
+		return nil
+	}
+	drop := oldRate - newRate
+	if drop > maxQualityDrop {
+		return fmt.Errorf("detection success rate dropped %.2f pp (%.2f%% -> %.2f%%), limit %g pp",
+			drop, oldRate, newRate, maxQualityDrop)
+	}
+	fmt.Printf("quality: detection success rate %.2f%% -> %.2f%% (limit -%g pp)\n",
+		oldRate, newRate, maxQualityDrop)
 	return nil
 }
 

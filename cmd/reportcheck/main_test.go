@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/ranging"
 )
 
 // liveReport builds a report shaped like a real crbench smoke run.
@@ -82,7 +83,7 @@ func TestCompareWallTimes(t *testing.T) {
 		{Name: "sec5", WallSeconds: 0.3, OutputBytes: 100},  // 3x < 4x
 		{Name: "fig4", WallSeconds: 99.0, OutputBytes: 100}, // not in baseline: ignored
 	}
-	if err := compare(oldPath, writeReport(t, within), 4); err != nil {
+	if err := compare(oldPath, writeReport(t, within), 4, 1); err != nil {
 		t.Fatalf("3x slowdown within 4x limit rejected: %v", err)
 	}
 
@@ -90,24 +91,24 @@ func TestCompareWallTimes(t *testing.T) {
 	regressed.Experiments = []obs.ExperimentReport{
 		{Name: "sec6", WallSeconds: 1.5, OutputBytes: 100}, // 7.5x > 4x (plus grace)
 	}
-	err := compare(oldPath, writeReport(t, regressed), 4)
+	err := compare(oldPath, writeReport(t, regressed), 4, 1)
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("7.5x regression accepted: %v", err)
 	}
 
 	disjoint := liveReport()
 	disjoint.Experiments = []obs.ExperimentReport{{Name: "fig8", WallSeconds: 0.1, OutputBytes: 1}}
-	if err := compare(oldPath, writeReport(t, disjoint), 4); err == nil {
+	if err := compare(oldPath, writeReport(t, disjoint), 4, 1); err == nil {
 		t.Fatal("reports with no common experiments accepted")
 	}
 
-	if err := compare(oldPath, oldPath, 0); err == nil {
+	if err := compare(oldPath, oldPath, 0, 1); err == nil {
 		t.Fatal("non-positive -max-regress accepted")
 	}
 	// A structurally broken report must fail compare too.
 	broken := liveReport()
 	broken.Experiments = nil
-	if err := compare(oldPath, writeReport(t, broken), 4); err == nil {
+	if err := compare(oldPath, writeReport(t, broken), 4, 1); err == nil {
 		t.Fatal("invalid new report accepted by compare")
 	}
 }
@@ -118,8 +119,86 @@ func TestCompareGraceAbsorbsTinyBaselines(t *testing.T) {
 	fast := liveReport()
 	fast.Experiments = []obs.ExperimentReport{{Name: "sec5", WallSeconds: 0.03, OutputBytes: 100}}
 	// 30x on a 1 ms baseline is scheduler noise, absorbed by the grace.
-	if err := compare(writeReport(t, base), writeReport(t, fast), 4); err != nil {
+	if err := compare(writeReport(t, base), writeReport(t, fast), 4, 1); err != nil {
 		t.Fatalf("noise-scale wobble rejected: %v", err)
+	}
+}
+
+// qualityReport is a liveReport carrying the ranging session counters the
+// quality gate reads.
+func qualityReport(found, expected int64) *obs.RunReport {
+	reg := obs.NewRegistry()
+	reg.Count("sim.frames_on_air", 42)
+	reg.Count("experiments.trials", 15)
+	reg.Observe("experiments.trial_seconds", 0.002)
+	if expected > 0 {
+		reg.Count(ranging.MetricRespondersExpected, expected)
+	}
+	if found > 0 {
+		reg.Count(ranging.MetricRespondersFound, found)
+	}
+	r := obs.NewRunReport("crbench", 1, 3)
+	r.Experiments = []obs.ExperimentReport{{Name: "sec5", WallSeconds: 0.1, OutputBytes: 100}}
+	r.Finish(reg.Snapshot(), 120*time.Millisecond)
+	return r
+}
+
+func TestCompareQualityGate(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new *obs.RunReport
+		maxDrop  float64
+		wantErr  string // "" = pass
+	}{
+		{
+			name: "within limit",
+			old:  qualityReport(99, 100), new: qualityReport(985, 1000),
+			maxDrop: 1,
+		},
+		{
+			name: "drop beyond limit fails",
+			old:  qualityReport(99, 100), new: qualityReport(95, 100),
+			maxDrop: 1, wantErr: "success rate dropped",
+		},
+		{
+			name: "improvement passes",
+			old:  qualityReport(90, 100), new: qualityReport(99, 100),
+			maxDrop: 1,
+		},
+		{
+			name: "gate skipped when baseline lacks counters",
+			old:  qualityReport(0, 0), new: qualityReport(50, 100),
+			maxDrop: 1,
+		},
+		{
+			name: "gate skipped when new report lacks counters",
+			old:  qualityReport(99, 100), new: qualityReport(0, 0),
+			maxDrop: 1,
+		},
+		{
+			name: "zero tolerance flags any drop",
+			old:  qualityReport(1000, 1000), new: qualityReport(999, 1000),
+			maxDrop: 0, wantErr: "success rate dropped",
+		},
+		{
+			name: "negative tolerance rejected",
+			old:  qualityReport(99, 100), new: qualityReport(99, 100),
+			maxDrop: -1, wantErr: "max-quality-drop",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := compare(writeReport(t, tc.old), writeReport(t, tc.new), 4, tc.maxDrop)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("compare failed: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"github.com/uwb-sim/concurrent-ranging/internal/dsp"
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
 )
 
@@ -174,7 +175,18 @@ type Detector struct {
 	// rec is the optional instrumentation sink (nil = disabled, the
 	// default). The last* fields remember the dsp plan counters at the
 	// end of the previous recorded call so each Detect reports deltas.
-	rec               obs.Recorder
+	rec obs.Recorder
+	// flight and traceParent feed the decision-level flight recorder:
+	// when either is live, Detect wraps itself in a trace span and emits
+	// one EventDetectRound per extraction round. roundScores (backed by
+	// scoreStorage) is non-nil only while a traced Detect runs; scanRange
+	// fills each template's peak score into its own index, so the
+	// concurrent workers never contend.
+	flight       *trace.Tracer
+	traceParent  *trace.Span
+	roundScores  []float64
+	scoreStorage []float64
+
 	lastUpsampleExecs int64
 	lastBankXforms    int64
 	lastBankFilters   int64
@@ -217,6 +229,19 @@ func (c candidate) better(o candidate) bool {
 // and give each goroutine its own Detector as usual (one concurrent-safe
 // Recorder may back many detectors).
 func (d *Detector) SetRecorder(r obs.Recorder) { d.rec = r }
+
+// SetFlightRecorder attaches the decision-level flight recorder; nil (the
+// default) disables it. The same contract as SetRecorder applies: tracing
+// is observational only — detection results are bit-identical with and
+// without it — and costs one nil check per Detect when disabled.
+func (d *Detector) SetFlightRecorder(tr *trace.Tracer) { d.flight = tr }
+
+// SetTraceParent nests the next Detect calls' spans under the given span
+// (typically a session.round span). A nil or non-recording parent makes
+// Detect fall back to opening root spans on the flight recorder, if one is
+// attached. Like SetRecorder this is not synchronized: set it before the
+// call, from the same goroutine.
+func (d *Detector) SetTraceParent(sp *trace.Span) { d.traceParent = sp }
 
 // NewDetector builds a detector for CIRs sampled at the bank's interval.
 func NewDetector(bank *pulse.Bank, cfg DetectorConfig) (*Detector, error) {
@@ -382,14 +407,24 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 	residual := d.residual
 	copy(residual, taps)
 
-	// Instrumentation is observational only: the counters below never
-	// influence the search, and the energy tallies run only when a
-	// recorder is attached.
+	// Instrumentation is observational only: the counters and trace
+	// events below never influence the search, and the energy tallies
+	// run only when a recorder or a live span is attached.
+	span := d.beginDetectSpan(len(taps), noiseRMS, threshold, useThreshold)
+	if span != nil {
+		if cap(d.scoreStorage) < len(d.templates) {
+			d.scoreStorage = make([]float64, len(d.templates))
+		}
+		d.roundScores = d.scoreStorage[:len(d.templates)]
+	} else {
+		d.roundScores = nil
+	}
 	var inputEnergy float64
-	if d.rec != nil {
+	if d.rec != nil || span != nil {
 		inputEnergy = dsp.Energy(taps)
 	}
 	rounds, refineSteps := 0, 0
+	stop := trace.ReasonMaxIterations
 
 	// Spectral fast path: upsample and forward-transform the CIR once,
 	// then keep the spectrum current analytically after each subtraction.
@@ -398,6 +433,7 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 	if spectral {
 		up := d.upsample.Execute(d.up, residual)
 		if err := d.sbank.Ingest(up); err != nil {
+			failDetectSpan(span, err)
 			return nil, err
 		}
 	}
@@ -406,6 +442,7 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 	var extractedPos []float64 // peak positions already subtracted, in T_s samples
 	for iter := 0; iter < d.cfg.MaxIterations; iter++ {
 		if d.cfg.MaxResponses > 0 && len(responses) >= d.cfg.MaxResponses {
+			stop = trace.ReasonMaxResponses
 			break
 		}
 		rounds++
@@ -417,15 +454,21 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		if !spectral {
 			up := d.upsample.Execute(d.up, residual)
 			if err := d.fbank.Transform(up); err != nil {
+				failDetectSpan(span, err)
 				return nil, err
 			}
 		}
 		d.skipQ = appendSuppressedIntervals(d.skipQ[:0], extractedPos, d.cfg.Upsample)
 		best, err := d.searchTemplates(spectral)
 		if err != nil {
+			failDetectSpan(span, err)
 			return nil, err
 		}
 		if best.t < 0 {
+			stop = trace.ReasonNoCandidate
+			if span != nil {
+				d.emitRound(span, rounds-1, best, 0, 0, threshold, useThreshold, stop, inputEnergy)
+			}
 			break
 		}
 		// Refine the peak position to sub-sample precision and estimate
@@ -456,9 +499,17 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 			refineSteps += steps
 		}
 		if alpha == 0 {
+			stop = trace.ReasonZeroAmplitude
+			if span != nil {
+				d.emitRound(span, rounds-1, best, peakPos, alpha, threshold, useThreshold, stop, inputEnergy)
+			}
 			break
 		}
 		if useThreshold && cmplx.Abs(alpha) < threshold {
+			stop = trace.ReasonBelowThreshold
+			if span != nil {
+				d.emitRound(span, rounds-1, best, peakPos, alpha, threshold, useThreshold, stop, inputEnergy)
+			}
 			break
 		}
 		responses = append(responses, Response{
@@ -471,16 +522,100 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		d.bank.Shape(best.t).RenderInto(residual, -alpha, peakPos, d.ts)
 		if spectral {
 			if err := d.spectralSubtract(best.t, alpha, peakPos); err != nil {
+				failDetectSpan(span, err)
 				return nil, err
 			}
 		}
 		extractedPos = append(extractedPos, peakPos)
+		if span != nil {
+			d.emitRound(span, rounds-1, best, peakPos, alpha, threshold, useThreshold, trace.ReasonAccepted, inputEnergy)
+		}
 	}
 	sortResponsesByDelay(responses)
 	if d.rec != nil {
 		d.recordDetect(responses, rounds, refineSteps, threshold, useThreshold, inputEnergy)
 	}
+	if span != nil {
+		span.EndWith(trace.Attrs{
+			trace.AttrReason: stop,
+			"responses":      len(responses),
+			"rounds":         rounds,
+			"refine_steps":   refineSteps,
+		})
+		d.roundScores = nil
+	}
 	return responses, nil
+}
+
+// beginDetectSpan opens this Detect call's span: under the installed
+// trace parent when it is recording, else as a root span on the flight
+// recorder. It returns nil — the "not tracing" sentinel the hot path
+// checks — when neither is live or the root was sampled out.
+func (d *Detector) beginDetectSpan(cirLen int, noiseRMS, threshold float64, useThreshold bool) *trace.Span {
+	// An installed but non-recording parent (sampled-out root) suppresses
+	// this call's span instead of opening a fresh root span.
+	if d.traceParent != nil {
+		if !d.traceParent.Recording() {
+			return nil
+		}
+	} else if d.flight == nil {
+		return nil
+	}
+	attrs := trace.Attrs{
+		"templates": len(d.templates),
+		"cir_len":   cirLen,
+		"noise_rms": noiseRMS,
+		"spectral":  d.sbank != nil,
+	}
+	if useThreshold {
+		attrs["threshold"] = threshold
+	}
+	var sp *trace.Span
+	if d.traceParent != nil {
+		sp = d.traceParent.Begin(trace.SpanDetect, attrs)
+	} else {
+		sp = d.flight.Begin(trace.SpanDetect, attrs)
+	}
+	if !sp.Recording() {
+		return nil
+	}
+	return sp
+}
+
+// failDetectSpan closes a detect span on an error return.
+func failDetectSpan(span *trace.Span, err error) {
+	if span != nil {
+		span.EndWith(trace.Attrs{trace.AttrStatus: "error", trace.AttrError: err.Error()})
+	}
+}
+
+// emitRound records one search-and-subtract round on the detect span: the
+// candidate peak, the per-template matched-filter scores scanRange
+// captured, the peak-to-threshold margin, the accept/reject reason, and
+// the residual-to-input energy fraction at the end of the round (after
+// the subtraction for accepted rounds). Only reached while tracing.
+func (d *Detector) emitRound(span *trace.Span, round int, best candidate,
+	peakPos float64, alpha complex128, threshold float64, useThreshold bool,
+	reason string, inputEnergy float64) {
+	attrs := trace.Attrs{
+		trace.AttrRound:  round,
+		trace.AttrReason: reason,
+		trace.AttrScores: append([]float64(nil), d.roundScores...),
+	}
+	if best.t >= 0 {
+		attrs[trace.AttrTemplate] = best.t
+		attrs[trace.AttrPeakIndex] = best.idx
+		attrs[trace.AttrDelayS] = peakPos * d.ts
+		amp := cmplx.Abs(alpha)
+		attrs[trace.AttrAmplitude] = amp
+		if useThreshold && threshold > 0 && amp > 0 {
+			attrs[trace.AttrMarginDB] = 20 * math.Log10(amp/threshold)
+		}
+	}
+	if inputEnergy > 0 {
+		attrs[trace.AttrResidualFrac] = dsp.Energy(d.residual) / inputEnergy
+	}
+	span.Event(trace.EventDetectRound, attrs)
 }
 
 // recordDetect emits one Detect call's worth of diagnostics. Only reached
@@ -603,7 +738,15 @@ func (d *Detector) scanRange(w *detectWorker, lo, hi int, spectral bool) (candid
 			return best, err
 		}
 		if idx < 0 {
+			if d.roundScores != nil {
+				d.roundScores[t] = 0
+			}
 			continue
+		}
+		if d.roundScores != nil {
+			// Each worker owns its chunk's indices, so concurrent scans
+			// never write the same slot.
+			d.roundScores[t] = math.Sqrt(sq)
 		}
 		if c := (candidate{sq: sq, t: t, idx: idx, y3: y3}); c.better(best) {
 			best = c

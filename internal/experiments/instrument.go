@@ -6,6 +6,7 @@ import (
 
 	"github.com/uwb-sim/concurrent-ranging/internal/core"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 	"github.com/uwb-sim/concurrent-ranging/internal/sim"
 )
 
@@ -46,6 +47,11 @@ type Instrumentation struct {
 	// to every detector and network the experiments build. It must be
 	// safe for concurrent use (obs.Registry is).
 	Recorder obs.Recorder
+	// Flight, when non-nil, is the detection flight recorder attached to
+	// every detector and network the experiments build: campaigns and
+	// detector runs open trace spans on it (a *trace.Tracer is safe for
+	// concurrent use).
+	Flight *trace.Tracer
 }
 
 // instr holds the installed instrumentation. Experiments are pure
@@ -66,21 +72,35 @@ func recorder() obs.Recorder {
 	return nil
 }
 
-// instrumentDetector attaches the installed recorder (if any) to a
-// freshly built detector and returns it, so experiment code can wrap
-// core.NewDetector results in one call.
+// flight returns the installed flight recorder or nil.
+func flight() *trace.Tracer {
+	if in := instr.Load(); in != nil {
+		return in.Flight
+	}
+	return nil
+}
+
+// instrumentDetector attaches the installed recorder and flight recorder
+// (if any) to a freshly built detector and returns it, so experiment code
+// can wrap core.NewDetector results in one call.
 func instrumentDetector(det *core.Detector) *core.Detector {
 	if rec := recorder(); rec != nil {
 		det.SetRecorder(rec)
 	}
+	if tr := flight(); tr != nil {
+		det.SetFlightRecorder(tr)
+	}
 	return det
 }
 
-// instrumentNetwork attaches the installed recorder (if any) to a
-// freshly built network and returns it.
+// instrumentNetwork attaches the installed recorder and flight recorder
+// (if any) to a freshly built network and returns it.
 func instrumentNetwork(net *sim.Network) *sim.Network {
 	if rec := recorder(); rec != nil {
 		net.SetRecorder(rec)
+	}
+	if tr := flight(); tr != nil {
+		net.SetFlightRecorder(tr)
 	}
 	return net
 }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fetch GETs a path from the debug server and returns status + body.
+func fetch(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeDebugExposesPprofAndExpvar(t *testing.T) {
+	reg := NewRegistry()
+	reg.Count("sim.frames_on_air", 7)
+	reg.Observe("detector.iterations", 3)
+
+	addr, err := ServeDebug("localhost:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(addr, ":") {
+		t.Fatalf("bound address %q has no port", addr)
+	}
+
+	// pprof index and a concrete profile endpoint respond.
+	if code, body := fetch(t, addr, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d, body %.80q", code, body)
+	}
+	if code, _ := fetch(t, addr, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", code)
+	}
+
+	// /debug/vars carries the registry snapshot under "crmetrics".
+	code, body := fetch(t, addr, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("expvar: status %d", code)
+	}
+	var vars struct {
+		Crmetrics Snapshot `json:"crmetrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar body is not JSON: %v", err)
+	}
+	if got := vars.Crmetrics.CounterValue("sim.frames_on_air"); got != 7 {
+		t.Errorf("crmetrics counter = %d, want 7", got)
+	}
+	if _, ok := vars.Crmetrics.HistogramByName("detector.iterations"); !ok {
+		t.Errorf("crmetrics missing detector.iterations histogram: %s", body)
+	}
+
+	// The snapshot is live, not a publish-time copy.
+	reg.Count("sim.frames_on_air", 3)
+	if _, body := fetch(t, addr, "/debug/vars"); !strings.Contains(body, `"value": 10`) &&
+		!strings.Contains(body, `"value":10`) {
+		t.Errorf("expvar snapshot did not follow the registry: %s", body)
+	}
+}
+
+func TestPublishExpvarRebindsRegistry(t *testing.T) {
+	first := NewRegistry()
+	first.Count("sim.frames_on_air", 1)
+	// Must not panic on repeated calls (expvar.Publish would).
+	PublishExpvar(first)
+	PublishExpvar(first)
+
+	second := NewRegistry()
+	second.Count("sim.frames_on_air", 99)
+	PublishExpvar(second)
+
+	addr, err := ServeDebug("localhost:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body := fetch(t, addr, "/debug/vars")
+	var vars struct {
+		Crmetrics Snapshot `json:"crmetrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if got := vars.Crmetrics.CounterValue("sim.frames_on_air"); got != 99 {
+		t.Errorf("crmetrics bound to stale registry: counter = %d, want 99", got)
+	}
+}
+
+func TestServeDebugBadAddress(t *testing.T) {
+	if _, err := ServeDebug("256.0.0.1:bogus", NewRegistry()); err == nil {
+		t.Fatal("nonsense address accepted")
+	}
+}
+
+func TestServeDebugNilRegistry(t *testing.T) {
+	addr, err := ServeDebug("localhost:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := fetch(t, addr, "/debug/vars"); code != http.StatusOK {
+		t.Errorf("expvar without registry: status %d", code)
+	}
+}

@@ -14,6 +14,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 )
 
@@ -89,13 +90,12 @@ func NewHistogram(bounds []float64) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	idx := len(h.bounds) // overflow
-	for i, b := range h.bounds {
-		if v <= b {
-			idx = i
-			break
-		}
-	}
+	// Binary search for the first bound >= v — the bucket that counts
+	// v <= bounds[i] — falling through to len(bounds), the overflow
+	// bucket. DefaultBuckets has 37 bounds, so the search beats the old
+	// linear scan for everything past the first few buckets (see
+	// BenchmarkHistogramObserve).
+	idx := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[idx].Add(1)
 	h.count.Add(1)
 	atomicAddFloat(&h.sumBits, v)

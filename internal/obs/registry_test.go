@@ -2,8 +2,6 @@ package obs
 
 import (
 	"encoding/json"
-	"net/http"
-	"strings"
 	"sync"
 	"testing"
 )
@@ -103,32 +101,5 @@ func TestSnapshotJSONIsValid(t *testing.T) {
 	}
 	if back.CounterValue("c") != 1 {
 		t.Fatalf("round-tripped snapshot = %+v", back)
-	}
-}
-
-func TestServeDebugExposesPprofAndExpvar(t *testing.T) {
-	reg := NewRegistry()
-	reg.Count("sim.frames", 7)
-	addr, err := ServeDebug("127.0.0.1:0", reg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for path, want := range map[string]string{
-		"/debug/vars":   `"crmetrics"`,
-		"/debug/pprof/": "goroutine",
-	} {
-		resp, err := http.Get("http://" + addr + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		body := make([]byte, 1<<16)
-		n, _ := resp.Body.Read(body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("%s: status %d", path, resp.StatusCode)
-		}
-		if !strings.Contains(string(body[:n]), want) {
-			t.Fatalf("%s: body does not contain %q", path, want)
-		}
 	}
 }

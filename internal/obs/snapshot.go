@@ -31,13 +31,19 @@ type Bucket struct {
 }
 
 // HistogramSnapshot is one histogram's state. Only non-empty buckets are
-// exported; Min/Max are omitted when the histogram has no observations.
+// exported; Min/Max and the quantile estimates are omitted when the
+// histogram has no observations. P50/P95/P99 are bucket-interpolated (see
+// Quantile), so they are estimates bounded by the bucket resolution — but
+// deterministic ones: equal observation multisets yield equal values.
 type HistogramSnapshot struct {
 	Name    string   `json:"name"`
 	Count   int64    `json:"count"`
 	Sum     float64  `json:"sum"`
 	Min     *float64 `json:"min,omitempty"`
 	Max     *float64 `json:"max,omitempty"`
+	P50     *float64 `json:"p50,omitempty"`
+	P95     *float64 `json:"p95,omitempty"`
+	P99     *float64 `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -47,6 +53,59 @@ func (h HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by locating the bucket
+// where the rank q·Count falls and interpolating linearly inside it. The
+// interpolation range is clamped to the observed Min/Max, so a quantile
+// never leaves the data's range; ranks landing in the overflow bucket
+// return Max. q <= 0 returns Min, q >= 1 returns Max, and an empty
+// histogram returns 0. The estimate depends only on the snapshot (bucket
+// counts and min/max), making it deterministic for deterministic
+// workloads regardless of observation order.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	min, max := 0.0, 0.0
+	if h.Min != nil {
+		min = *h.Min
+	}
+	if h.Max != nil {
+		max = *h.Max
+	}
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	lower := min
+	for _, b := range h.Buckets {
+		prev := cum
+		cum += b.Count
+		if float64(cum) < rank {
+			if !b.Overflow && b.UpperBound > lower {
+				lower = b.UpperBound
+			}
+			continue
+		}
+		if b.Overflow {
+			return max
+		}
+		upper := b.UpperBound
+		if upper > max {
+			upper = max
+		}
+		if upper < lower {
+			upper = lower
+		}
+		frac := (rank - float64(prev)) / float64(b.Count)
+		return lower + (upper-lower)*frac
+	}
+	return max
 }
 
 func (h *Histogram) snapshot(name string) HistogramSnapshot {
@@ -68,6 +127,10 @@ func (h *Histogram) snapshot(name string) HistogramSnapshot {
 			b.Overflow = true
 		}
 		s.Buckets = append(s.Buckets, b)
+	}
+	if s.Count > 0 {
+		p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+		s.P50, s.P95, s.P99 = &p50, &p95, &p99
 	}
 	return s
 }

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("Trace Event
+// Format", the chrome://tracing / Perfetto JSON). Timestamps and durations
+// are microseconds.
+type chromeEvent struct {
+	Name  string   `json:"name"`
+	Cat   string   `json:"cat"`
+	Phase string   `json:"ph"`
+	TS    float64  `json:"ts"`
+	Dur   *float64 `json:"dur,omitempty"`
+	PID   int      `json:"pid"`
+	TID   uint64   `json:"tid"`
+	Scope string   `json:"s,omitempty"`
+	Args  Attrs    `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace converts a flight-recorder event stream into the Chrome
+// trace-event JSON format for timeline viewing in chrome://tracing or
+// Perfetto. Each span becomes one complete ("X") slice; instant events
+// become thread-scoped instants. Spans are grouped onto tracks (tid) by
+// their root span, so concurrent campaign workers render as parallel
+// rows. A span still open at the end of the stream is closed at the last
+// observed timestamp.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	// Resolve each span's root by walking begin-event parent links.
+	parent := make(map[uint64]uint64)
+	name := make(map[uint64]string)
+	beginTS := make(map[uint64]float64)
+	beginAttrs := make(map[uint64]Attrs)
+	var lastTS float64
+	for _, ev := range events {
+		if ev.TS > lastTS {
+			lastTS = ev.TS
+		}
+		if ev.Phase == PhaseBegin {
+			parent[ev.Span] = ev.Parent
+			name[ev.Span] = ev.Name
+			beginTS[ev.Span] = ev.TS
+			beginAttrs[ev.Span] = ev.Attrs
+		}
+	}
+	root := func(id uint64) uint64 {
+		for depth := 0; depth < 64; depth++ { // cycle guard
+			p, ok := parent[id]
+			if !ok || p == 0 {
+				return id
+			}
+			id = p
+		}
+		return id
+	}
+
+	var out chromeTrace
+	closed := make(map[uint64]bool)
+	for _, ev := range events {
+		switch ev.Phase {
+		case PhaseEnd:
+			ts, ok := beginTS[ev.Span]
+			if !ok {
+				continue // end without a begin in the ring window
+			}
+			dur := (ev.TS - ts) * 1e6
+			args := mergeAttrs(beginAttrs[ev.Span], ev.Attrs)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name[ev.Span], Cat: "cr", Phase: "X",
+				TS: ts * 1e6, Dur: &dur, PID: 1, TID: root(ev.Span), Args: args,
+			})
+			closed[ev.Span] = true
+		case PhaseInstant:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: ev.Name, Cat: "cr", Phase: "i", Scope: "t",
+				TS: ev.TS * 1e6, PID: 1, TID: root(ev.Span), Args: ev.Attrs,
+			})
+		}
+	}
+	// Close spans the stream never ended (truncated trace).
+	for id, ts := range beginTS {
+		if closed[id] {
+			continue
+		}
+		dur := (lastTS - ts) * 1e6
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name[id], Cat: "cr", Phase: "X",
+			TS: ts * 1e6, Dur: &dur, PID: 1, TID: root(id), Args: beginAttrs[id],
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// mergeAttrs overlays end attrs onto begin attrs without mutating either.
+func mergeAttrs(begin, end Attrs) Attrs {
+	if len(begin) == 0 {
+		return end
+	}
+	if len(end) == 0 {
+		return begin
+	}
+	out := make(Attrs, len(begin)+len(end))
+	for k, v := range begin {
+		out[k] = v
+	}
+	for k, v := range end {
+		out[k] = v
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/airtime"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
 )
 
@@ -31,9 +32,22 @@ type CampaignResult struct {
 // the channel with a guard interval — the N·(N−1)-message baseline the
 // paper's efficiency argument is built on (the initiator of each exchange
 // is the lower-ID node).
-func (n *Network) RunScheduledCampaign(nodes []*Node, responseDelay float64, bank *pulse.Bank) (*CampaignResult, error) {
+func (n *Network) RunScheduledCampaign(nodes []*Node, responseDelay float64, bank *pulse.Bank) (result *CampaignResult, err error) {
 	if len(nodes) < 2 {
 		return nil, fmt.Errorf("sim: campaign needs at least 2 nodes, got %d", len(nodes))
+	}
+	if n.flightActive() {
+		sp := n.beginSpan(trace.SpanCampaign, trace.Attrs{
+			trace.AttrSeed: n.seed,
+			"kind":         "scheduled",
+			"nodes":        len(nodes),
+		})
+		prev := n.traceParent
+		n.traceParent = sp
+		defer func() {
+			n.traceParent = prev
+			n.endCampaignSpan(sp, result, err)
+		}()
 	}
 	if responseDelay == 0 {
 		responseDelay = airtime.DefaultResponseDelay
@@ -71,7 +85,20 @@ func (n *Network) RunScheduledCampaign(nodes []*Node, responseDelay float64, ban
 // other nodes with a single concurrent round and tallies the same cost
 // metrics for comparison. The round configuration controls the scheme
 // (plan, bank, quantization).
-func (n *Network) RunConcurrentCampaign(initiator *Node, responders []*Node, cfg RoundConfig) (*CampaignResult, *RoundResult, error) {
+func (n *Network) RunConcurrentCampaign(initiator *Node, responders []*Node, cfg RoundConfig) (result *CampaignResult, round *RoundResult, err error) {
+	if n.flightActive() {
+		sp := n.beginSpan(trace.SpanCampaign, trace.Attrs{
+			trace.AttrSeed: n.seed,
+			"kind":         "concurrent",
+			"nodes":        1 + len(responders),
+		})
+		prev := n.traceParent
+		n.traceParent = sp
+		defer func() {
+			n.traceParent = prev
+			n.endCampaignSpan(sp, result, err)
+		}()
+	}
 	initDur, err := n.phy.FrameDuration(airtime.InitPayloadBytes)
 	if err != nil {
 		return nil, nil, err
@@ -82,7 +109,7 @@ func (n *Network) RunConcurrentCampaign(initiator *Node, responders []*Node, cfg
 	}
 	pm := airtime.DefaultPowerModel()
 	start := n.Engine.Now()
-	round, err := n.RunConcurrentRound(initiator, responders, cfg)
+	round, err = n.RunConcurrentRound(initiator, responders, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

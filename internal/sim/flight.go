@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
+)
+
+// This file wires the network into the decision-level flight recorder
+// (internal/obs/trace): protocol rounds and campaigns become spans whose
+// attributes carry the trial seed and the simulator-side ground truth
+// (RPM slot, pulse-shape index, true distance per responder). It is
+// entirely separate from the SetTracer text timeline — that narrates the
+// air interface for humans; this one feeds cmd/crtrace.
+
+// SetFlightRecorder attaches the decision-level flight recorder; nil (the
+// default) disables it. Recording is observational only — round results
+// are bit-identical with and without it. Like SetRecorder it is not
+// synchronized: attach before running rounds.
+func (n *Network) SetFlightRecorder(tr *trace.Tracer) { n.flight = tr }
+
+// SetTraceParent nests subsequently started round/campaign spans under
+// the given span (typically a session.round span). A nil or non-recording
+// parent makes rounds open root spans on the flight recorder instead.
+func (n *Network) SetTraceParent(sp *trace.Span) { n.traceParent = sp }
+
+// flightActive reports whether starting a span now could record anything.
+// An installed but non-recording parent (a sampled-out session round or
+// campaign) suppresses nested spans rather than letting them open fresh
+// root spans of their own.
+func (n *Network) flightActive() bool {
+	if n.traceParent != nil {
+		return n.traceParent.Recording()
+	}
+	return n.flight != nil
+}
+
+// beginSpan opens a span under the installed parent, or as a root span on
+// the flight recorder when no parent is installed. The result may be an
+// inert span (sampled-out root); end helpers check Recording.
+func (n *Network) beginSpan(name string, attrs trace.Attrs) *trace.Span {
+	if n.traceParent != nil {
+		return n.traceParent.Begin(name, attrs)
+	}
+	return n.flight.Begin(name, attrs)
+}
+
+// endRoundSpan closes a sim.round span with the round's outcome and the
+// simulator-side ground truth.
+func (n *Network) endRoundSpan(sp *trace.Span, round *RoundResult, err error) {
+	if !sp.Recording() {
+		return
+	}
+	if err != nil {
+		sp.EndWith(trace.Attrs{trace.AttrStatus: "error", trace.AttrError: err.Error()})
+		return
+	}
+	attrs := trace.Attrs{
+		trace.AttrStatus: "ok",
+		"decoded_id":     round.DecodedID,
+		"decode_ok":      round.DecodeOK,
+		trace.AttrTruth:  roundTruth(round),
+	}
+	// A single responder has no interferers; SIR is +Inf then, which JSON
+	// cannot carry.
+	if !math.IsInf(round.LockSIRdB, 0) && !math.IsNaN(round.LockSIRdB) {
+		attrs["lock_sir_db"] = round.LockSIRdB
+	}
+	sp.EndWith(attrs)
+}
+
+// endCampaignSpan closes a sim.campaign span with the campaign's cost
+// tallies.
+func (n *Network) endCampaignSpan(sp *trace.Span, res *CampaignResult, err error) {
+	if !sp.Recording() {
+		return
+	}
+	if err != nil {
+		sp.EndWith(trace.Attrs{trace.AttrStatus: "error", trace.AttrError: err.Error()})
+		return
+	}
+	sp.EndWith(trace.Attrs{
+		trace.AttrStatus: "ok",
+		"messages":       res.Messages,
+		"duration_s":     res.Duration,
+		"air_time_s":     res.AirTime,
+		"energy_j":       res.RadioEnergy,
+		"distances":      len(res.Distances),
+	})
+}
+
+// roundTruth flattens a round's ground-truth maps into the canonical
+// AttrTruth array, ordered by responder ID for deterministic traces.
+func roundTruth(round *RoundResult) []any {
+	ids := make([]int, 0, len(round.TrueDistance))
+	for id := range round.TrueDistance {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	truth := make([]any, 0, len(ids))
+	for _, id := range ids {
+		truth = append(truth, map[string]any{
+			trace.AttrID:    id,
+			trace.AttrSlot:  round.Slots[id],
+			trace.AttrShape: round.Shapes[id],
+			trace.AttrDistM: round.TrueDistance[id],
+		})
+	}
+	return truth
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
+)
+
+func TestConcurrentCampaignSpans(t *testing.T) {
+	net, nodes := campaignNetwork(t, 4, 41)
+	tr := trace.New(trace.Config{})
+	net.SetFlightRecorder(tr)
+	_, round, err := net.RunConcurrentCampaign(nodes[0], nodes[1:], RoundConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var campaign, simRound *trace.Event
+	evs := tr.Events()
+	for i, ev := range evs {
+		if ev.Phase != trace.PhaseBegin {
+			continue
+		}
+		switch ev.Name {
+		case trace.SpanCampaign:
+			campaign = &evs[i]
+		case trace.SpanSimRound:
+			simRound = &evs[i]
+		}
+	}
+	if campaign == nil || simRound == nil {
+		t.Fatalf("missing spans in %d events", len(evs))
+	}
+	if campaign.Parent != 0 {
+		t.Error("campaign span is not a root")
+	}
+	if campaign.Attrs["kind"] != "concurrent" {
+		t.Errorf("campaign kind = %v", campaign.Attrs["kind"])
+	}
+	if got := campaign.Attrs[trace.AttrSeed]; got != uint64(41) {
+		t.Errorf("campaign seed = %v, want 41", got)
+	}
+	if simRound.Parent != campaign.Span {
+		t.Errorf("sim.round parent = %d, want campaign %d", simRound.Parent, campaign.Span)
+	}
+
+	// The round's end event carries the ground truth, ordered by ID.
+	var roundEnd *trace.Event
+	for i, ev := range evs {
+		if ev.Phase == trace.PhaseEnd && ev.Span == simRound.Span {
+			roundEnd = &evs[i]
+		}
+	}
+	if roundEnd == nil {
+		t.Fatal("sim.round never ended")
+	}
+	truth, ok := roundEnd.Attrs[trace.AttrTruth].([]any)
+	if !ok || len(truth) != len(round.TrueDistance) {
+		t.Fatalf("round truth = %#v, want %d entries", roundEnd.Attrs[trace.AttrTruth], len(round.TrueDistance))
+	}
+	for i, entry := range truth {
+		m := entry.(map[string]any)
+		id := m[trace.AttrID].(int)
+		if i > 0 && id <= truth[i-1].(map[string]any)[trace.AttrID].(int) {
+			t.Error("truth entries not ordered by responder ID")
+		}
+		if m[trace.AttrDistM].(float64) != round.TrueDistance[id] {
+			t.Errorf("truth distance of %d = %v, want %g", id, m[trace.AttrDistM], round.TrueDistance[id])
+		}
+	}
+}
+
+func TestScheduledCampaignSpanSuppressedWhenSampledOut(t *testing.T) {
+	net, nodes := campaignNetwork(t, 3, 7)
+	// SampleEvery 2: first campaign records, second is sampled out along
+	// with every nested round span.
+	tr := trace.New(trace.Config{SampleEvery: 2})
+	net.SetFlightRecorder(tr)
+	if _, err := net.RunScheduledCampaign(nodes, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	recorded := tr.Stats().Events
+	if recorded == 0 {
+		t.Fatal("first campaign recorded nothing")
+	}
+	if _, err := net.RunScheduledCampaign(nodes, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Events != recorded {
+		t.Errorf("sampled-out campaign emitted %d events", st.Events-recorded)
+	}
+	if st.RootSpans != 2 || st.SampledOut != 1 {
+		t.Errorf("stats = %+v, want 2 roots with 1 sampled out", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
 	"github.com/uwb-sim/concurrent-ranging/internal/geom"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 )
 
 // Node is one UWB device: an application-level responder ID, a position in
@@ -67,11 +68,18 @@ type Network struct {
 	env         *channel.Environment
 	phy         airtime.Config
 	rng         *rand.Rand
+	seed        uint64
 	nodes       []*Node
 	randomPhase bool
 	trace       func(TraceEvent)
 	stats       Stats
 	rec         obs.Recorder
+
+	// flight and traceParent feed the decision-level flight recorder
+	// (internal/obs/trace); see flight.go. Distinct from the text
+	// timeline tracer above.
+	flight      *trace.Tracer
+	traceParent *trace.Span
 }
 
 // NewNetwork builds an empty network.
@@ -92,6 +100,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		env:         env,
 		phy:         phy,
 		rng:         rand.New(rand.NewPCG(cfg.Seed, 0x5eed)),
+		seed:        cfg.Seed,
 		randomPhase: cfg.RandomClockPhase,
 	}, nil
 }

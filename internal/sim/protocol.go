@@ -7,6 +7,7 @@ import (
 	"github.com/uwb-sim/concurrent-ranging/internal/airtime"
 	"github.com/uwb-sim/concurrent-ranging/internal/core"
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
 )
 
@@ -123,7 +124,7 @@ type RoundResult struct {
 // RESP replies and returns the initiator's observations. The network's
 // event engine drives the exchange; the virtual clock ends after the
 // aggregated reception.
-func (n *Network) RunConcurrentRound(initiator *Node, responders []*Node, cfg RoundConfig) (*RoundResult, error) {
+func (n *Network) RunConcurrentRound(initiator *Node, responders []*Node, cfg RoundConfig) (round *RoundResult, err error) {
 	if initiator == nil {
 		return nil, fmt.Errorf("sim: nil initiator")
 	}
@@ -140,6 +141,15 @@ func (n *Network) RunConcurrentRound(initiator *Node, responders []*Node, cfg Ro
 	if cfg.ResponseDelay < minDelay {
 		return nil, fmt.Errorf("sim: response delay %g below the %g minimum (Sect. III)",
 			cfg.ResponseDelay, minDelay)
+	}
+	if n.flightActive() {
+		sp := n.beginSpan(trace.SpanSimRound, trace.Attrs{
+			trace.AttrSeed:     n.seed,
+			"responders":       len(responders),
+			"response_delay_s": cfg.ResponseDelay,
+			trace.AttrCapacity: cfg.Plan.Capacity(),
+		})
+		defer func() { n.endRoundSpan(sp, round, err) }()
 	}
 
 	result := &RoundResult{

@@ -1,0 +1,188 @@
+package ranging
+
+// Flight-recorder integration tests: a traced session must produce the
+// full span tree — session.round wrapping sim.round and detect, with
+// seed, ground truth and measurements in the attributes — stream it as
+// parseable JSONL, keep results bit-identical, and record the quality
+// counters reportcheck's gate consumes.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
+)
+
+func tracedScenario() *Scenario {
+	sc := NewScenario(Config{
+		Environment:      EnvHallway,
+		Seed:             5,
+		MaxRange:         75,
+		NumShapes:        3,
+		IdealTransceiver: true,
+	})
+	sc.SetInitiator(1, 1.2)
+	for id := 0; id < 4; id++ {
+		sc.AddResponder(id, 3.5+1.5*float64(id), 1.2)
+	}
+	return sc
+}
+
+func TestSessionFlightRecorder(t *testing.T) {
+	bare, err := tracedScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bare.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced, err := tracedScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := trace.New(trace.Config{Writer: &buf})
+	traced.SetFlightRecorder(tr)
+	got, err := traced.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracing is observational: identical results.
+	if len(got.Measurements) != len(want.Measurements) {
+		t.Fatalf("tracing changed measurement count: %d vs %d",
+			len(got.Measurements), len(want.Measurements))
+	}
+	for i := range want.Measurements {
+		if got.Measurements[i] != want.Measurements[i] {
+			t.Errorf("measurement %d differs with tracing on:\n  got  %+v\n  want %+v",
+				i, got.Measurements[i], want.Measurements[i])
+		}
+	}
+
+	// The stream must reparse and contain the full span tree.
+	evs, err := trace.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]trace.Event{} // begin events by name
+	var sessionEnd *trace.Event
+	roundEvents := 0
+	for i, ev := range evs {
+		if ev.Phase == trace.PhaseBegin {
+			spans[ev.Name] = ev
+		}
+		if ev.Phase == trace.PhaseInstant && ev.Name == trace.EventDetectRound {
+			roundEvents++
+		}
+		if ev.Phase == trace.PhaseEnd && ev.Span == evs[0].Span {
+			sessionEnd = &evs[i]
+		}
+	}
+	session, ok := spans[trace.SpanSessionRound]
+	if !ok {
+		t.Fatal("no session.round span in trace")
+	}
+	if session.Parent != 0 {
+		t.Error("session.round is not a root span")
+	}
+	if got := session.Attrs[trace.AttrSeed]; got != float64(5) {
+		t.Errorf("seed attr = %v, want 5", got)
+	}
+	truth, ok := session.Attrs[trace.AttrTruth].([]any)
+	if !ok || len(truth) != 4 {
+		t.Fatalf("truth attr = %#v, want 4 responders", session.Attrs[trace.AttrTruth])
+	}
+	first := truth[0].(map[string]any)
+	for _, key := range []string{trace.AttrID, trace.AttrSlot, trace.AttrShape, trace.AttrDistM} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("truth entry missing %q: %v", key, first)
+		}
+	}
+	simRound, ok := spans[trace.SpanSimRound]
+	if !ok || simRound.Parent != session.Span {
+		t.Errorf("sim.round span = %+v, want child of session %d", simRound, session.Span)
+	}
+	detect, ok := spans[trace.SpanDetect]
+	if !ok || detect.Parent != session.Span {
+		t.Errorf("detect span = %+v, want child of session %d", detect, session.Span)
+	}
+	if roundEvents == 0 {
+		t.Error("no detect.round events in trace")
+	}
+	if sessionEnd == nil {
+		t.Fatal("session.round never ended")
+	}
+	if got := sessionEnd.Attrs[trace.AttrStatus]; got != "ok" {
+		t.Errorf("session end status = %v", got)
+	}
+	ms, ok := sessionEnd.Attrs[trace.AttrMeasurements].([]any)
+	if !ok || len(ms) != len(want.Measurements) {
+		t.Fatalf("end measurements = %#v, want %d entries",
+			sessionEnd.Attrs[trace.AttrMeasurements], len(want.Measurements))
+	}
+}
+
+func TestSessionRunRecordsQualityCounters(t *testing.T) {
+	session, err := tracedScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	session.SetRecorder(reg)
+	res, err := session.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := int64(0)
+	for _, m := range res.Measurements {
+		if m.HasTruth {
+			matched++
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue(MetricRespondersExpected); got != 4 {
+		t.Errorf("%s = %d, want 4", MetricRespondersExpected, got)
+	}
+	if got := snap.CounterValue(MetricRespondersFound); got != matched || matched == 0 {
+		t.Errorf("%s = %d, want %d (nonzero)", MetricRespondersFound, got, matched)
+	}
+	if got := snap.CounterValue(MetricRoundErrors); got != 0 {
+		t.Errorf("%s = %d, want 0", MetricRoundErrors, got)
+	}
+}
+
+func TestSessionSamplingSuppressesWholeRounds(t *testing.T) {
+	session, err := tracedScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Config{SampleEvery: 2})
+	session.SetFlightRecorder(tr)
+	for i := 0; i < 4; i++ {
+		if _, err := session.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.Stats()
+	if st.RootSpans != 4 || st.SampledOut != 2 {
+		t.Fatalf("stats = %+v, want 4 roots with 2 sampled out", st)
+	}
+	// Every recorded event belongs to one of the two sampled rounds: the
+	// round counters in the session.round begin events must be 0 and 2.
+	var seen []int
+	for _, ev := range tr.Events() {
+		if ev.Phase == trace.PhaseBegin && ev.Name == trace.SpanSessionRound {
+			seen = append(seen, int(ev.Attrs[trace.AttrRound].(uint64)))
+		}
+	}
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 2 {
+		t.Errorf("sampled rounds %v, want [0 2]", seen)
+	}
+}

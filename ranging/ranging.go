@@ -34,6 +34,8 @@ import (
 	"github.com/uwb-sim/concurrent-ranging/internal/core"
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
 	"github.com/uwb-sim/concurrent-ranging/internal/geom"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 	"github.com/uwb-sim/concurrent-ranging/internal/pulse"
 	"github.com/uwb-sim/concurrent-ranging/internal/sim"
 )
@@ -160,6 +162,14 @@ type Session struct {
 	detector  *core.Detector
 	resolver  *core.Resolver
 	roundCfg  sim.RoundConfig
+
+	// Instrumentation (all optional): the metrics recorder, the
+	// decision-level flight recorder, the scenario seed the trace spans
+	// carry, and the 0-based Run counter.
+	rec    obs.Recorder
+	flight *trace.Tracer
+	seed   uint64
+	rounds uint64
 }
 
 // Build validates the scenario and constructs the simulation.
@@ -266,6 +276,7 @@ func (s *Scenario) Build() (*Session, error) {
 		bank:      bank,
 		detector:  det,
 		resolver:  &core.Resolver{Plan: plan},
+		seed:      s.cfg.Seed,
 		roundCfg: sim.RoundConfig{
 			ResponseDelay:         s.cfg.ResponseDelay,
 			Plan:                  plan,

@@ -9,7 +9,22 @@ import (
 	"github.com/uwb-sim/concurrent-ranging/internal/geom"
 	"github.com/uwb-sim/concurrent-ranging/internal/locate"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 	"github.com/uwb-sim/concurrent-ranging/internal/sim"
+)
+
+// Metric names Session.Run records through its Recorder. The expected /
+// found pair is the detection success-rate numerator and denominator
+// reportcheck's quality gate compares across runs.
+const (
+	// MetricRespondersExpected counts responders a Run was asked to
+	// range (recorded on every Run, success or failure).
+	MetricRespondersExpected = "ranging.responders_expected"
+	// MetricRespondersFound counts resolved measurements carrying ground
+	// truth — responses detected and attributed to a real responder.
+	MetricRespondersFound = "ranging.responders_found"
+	// MetricRoundErrors counts Run calls that returned an error.
+	MetricRoundErrors = "ranging.round_errors"
 )
 
 // Measurement is one per-responder ranging outcome.
@@ -77,7 +92,20 @@ var ErrDecodeFailed = errors.New("ranging: concurrent payload decode failed")
 // INIT, all responders answer simultaneously after Δ_RESP (+ their RPM
 // slot offsets), and the initiator extracts every responder's distance
 // from the single aggregated reception.
-func (s *Session) Run() (*Result, error) {
+func (s *Session) Run() (result *Result, err error) {
+	seq := s.rounds
+	s.rounds++
+	defer func() { s.recordRun(result, err) }()
+	if s.flight != nil {
+		sp := s.flight.Begin(trace.SpanSessionRound, s.runBeginAttrs(seq))
+		s.net.SetTraceParent(sp)
+		s.detector.SetTraceParent(sp)
+		defer func() {
+			s.net.SetTraceParent(nil)
+			s.detector.SetTraceParent(nil)
+			s.endSessionSpan(sp, result, err)
+		}()
+	}
 	round, err := s.net.RunConcurrentRound(s.initiator, s.resps, s.roundCfg)
 	if err != nil {
 		return nil, err
@@ -102,7 +130,7 @@ func (s *Session) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	result := &Result{
+	result = &Result{
 		Measurements:      make([]Measurement, 0, len(ms)),
 		AnchorDistance:    dTWR,
 		AnchorID:          round.DecodedID,
@@ -131,6 +159,83 @@ func (s *Session) Run() (*Result, error) {
 		result.Measurements = append(result.Measurements, out)
 	}
 	return result, nil
+}
+
+// runBeginAttrs builds the session.round begin attributes: the scenario
+// seed, the 0-based round counter, the scheme capacity, and the
+// ground-truth slot/shape/distance of every responder.
+func (s *Session) runBeginAttrs(seq uint64) trace.Attrs {
+	truth := make([]any, 0, len(s.resps))
+	for _, node := range s.resps {
+		slot, shape := 0, 0
+		if s.plan.Capacity() > 1 {
+			slot, shape, _ = s.plan.Assign(node.ID)
+		}
+		truth = append(truth, map[string]any{
+			trace.AttrID:    node.ID,
+			trace.AttrSlot:  slot,
+			trace.AttrShape: shape,
+			trace.AttrDistM: sim.Distance(s.initiator, node),
+		})
+	}
+	return trace.Attrs{
+		trace.AttrSeed:     s.seed,
+		trace.AttrRound:    seq,
+		trace.AttrCapacity: s.plan.Capacity(),
+		trace.AttrTruth:    truth,
+	}
+}
+
+// endSessionSpan closes a session.round span with the round's outcome.
+func (s *Session) endSessionSpan(sp *trace.Span, result *Result, err error) {
+	if !sp.Recording() {
+		return
+	}
+	if err != nil {
+		sp.EndWith(trace.Attrs{trace.AttrStatus: "error", trace.AttrError: err.Error()})
+		return
+	}
+	ms := make([]any, 0, len(result.Measurements))
+	for _, m := range result.Measurements {
+		mm := map[string]any{
+			trace.AttrID:       m.ResponderID,
+			trace.AttrSlot:     m.Slot,
+			trace.AttrShape:    m.Shape,
+			trace.AttrDistM:    m.Distance,
+			trace.AttrHasTruth: m.HasTruth,
+			trace.AttrAnchor:   m.Anchor,
+		}
+		if m.HasTruth {
+			mm[trace.AttrTrueM] = m.TrueDistance
+		}
+		ms = append(ms, mm)
+	}
+	sp.EndWith(trace.Attrs{
+		trace.AttrStatus:       "ok",
+		"anchor_id":            result.AnchorID,
+		"d_twr_m":              result.AnchorDistance,
+		trace.AttrMeasurements: ms,
+	})
+}
+
+// recordRun emits the per-Run quality counters; free when no recorder is
+// attached.
+func (s *Session) recordRun(result *Result, err error) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Count(MetricRespondersExpected, int64(len(s.resps)))
+	if err != nil {
+		s.rec.Count(MetricRoundErrors, 1)
+		return
+	}
+	var found int64
+	for _, m := range result.Measurements {
+		if m.HasTruth {
+			found++
+		}
+	}
+	s.rec.Count(MetricRespondersFound, found)
 }
 
 // RunTWR performs one classical SS-TWR exchange with the given responder
@@ -286,6 +391,20 @@ func (s *Session) SetTracer(fn func(TraceEvent)) {
 // disabled (the hot paths test a single nil pointer). obs.Registry
 // satisfies the interface and is safe for concurrent use across sessions.
 func (s *Session) SetRecorder(rec obs.Recorder) {
+	s.rec = rec
 	s.detector.SetRecorder(rec)
 	s.net.SetRecorder(rec)
+}
+
+// SetFlightRecorder attaches the decision-level flight recorder
+// (internal/obs/trace) to the session, its network, and its detector;
+// nil detaches all three. Every subsequent Run becomes a session.round
+// span — carrying the scenario seed and the per-responder ground truth
+// (RPM slot, pulse-shape index, true distance) — with the sim round and
+// each detection's per-round search-and-subtract decisions nested under
+// it. Like SetRecorder this is observation-only and free when disabled.
+func (s *Session) SetFlightRecorder(tr *trace.Tracer) {
+	s.flight = tr
+	s.net.SetFlightRecorder(tr)
+	s.detector.SetFlightRecorder(tr)
 }
