@@ -5,7 +5,11 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: all build test test-short bench microbench repro smoke fuzz vet fmt clean
+.PHONY: all build test test-short bench microbench repro smoke fuzz vet fmt lint clean
+
+# Staticcheck release `make lint` and CI pin, so a toolchain drift cannot
+# change what the gate enforces.
+STATICCHECK_VERSION ?= 2025.1.1
 
 all: build test
 
@@ -14,6 +18,22 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The full static-analysis gate: the project-specific contract analyzers
+# (cmd/crlint: detrand, nilinstr, bufalias, unitconv — DESIGN.md §12),
+# go vet, and the pinned staticcheck. staticcheck is the only tool not
+# shipped with the Go toolchain; when it is not installed the step is
+# skipped with a notice instead of failing, so offline checkouts still
+# get the crlint + vet gate. CI installs the pinned version and runs all
+# three.
+lint:
+	$(GO) run ./cmd/crlint
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 # Fails (exit 1) when any file needs reformatting, so CI can gate on it;
 # `gofmt -l` alone always exits 0.

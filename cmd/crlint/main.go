@@ -1,0 +1,126 @@
+// Command crlint is the repository's project-specific static-analysis
+// suite: a multichecker over the four contract analyzers (detrand,
+// nilinstr, bufalias, unitconv — see DESIGN.md §12) built on the standard
+// library's go/types so it needs nothing beyond the Go toolchain.
+//
+// Usage:
+//
+//	crlint [-list] [package dir ...]
+//
+// With no arguments every package of the module is checked; each analyzer
+// runs only on the packages whose contract it enforces. Diagnostics print
+// as file:line:col: analyzer: message; any diagnostic exits 1. Individual
+// findings can be waived with a justified suppression comment on the
+// offending line:
+//
+//	t0 := time.Now() //lint:allow detrand feeds a StripWallTime-stripped field
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+	"github.com/uwb-sim/concurrent-ranging/internal/lint/analyzers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	moduleDir := flag.String("C", ".", "module root directory")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: crlint [-list] [-C moduledir] [package dir ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	n, err := run(*moduleDir, flag.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "crlint: %d diagnostic(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run lints the requested package directories (all module packages when
+// none are given) and returns the number of diagnostics printed.
+func run(moduleDir string, dirs []string, out io.Writer) (int, error) {
+	root, err := findModuleRoot(moduleDir)
+	if err != nil {
+		return 0, err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	targets, err := loader.Targets()
+	if err != nil {
+		return 0, err
+	}
+	if len(dirs) > 0 {
+		want := make(map[string]bool, len(dirs))
+		for _, d := range dirs {
+			abs, err := filepath.Abs(d)
+			if err != nil {
+				return 0, err
+			}
+			want[abs] = true
+		}
+		var filtered []lint.Target
+		for _, t := range targets {
+			if want[t.Dir] {
+				filtered = append(filtered, t)
+			}
+		}
+		targets = filtered
+	}
+	total := 0
+	for _, t := range targets {
+		applicable := analyzers.Applicable(t.Path, t.Imports)
+		if len(applicable) == 0 {
+			continue
+		}
+		pass, err := loader.LoadDir(t.Dir)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range lint.RunAnalyzers(pass, applicable) {
+			pos := loader.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = rel
+			}
+			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+			total++
+		}
+	}
+	return total, nil
+}
+
+// findModuleRoot walks up from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	reportcheck report.json [report2.json ...]
 //	reportcheck -compare old.json new.json [-max-regress factor] [-max-quality-drop pp]
+//	reportcheck -require-deterministic a.json b.json [more.json ...]
 //
 // In -compare mode both reports are validated and the per-experiment wall
 // times of the experiments common to both are compared: the run fails if
@@ -23,14 +24,25 @@
 // percentage points (default 1). Reports without those counters (runs
 // that never built a ranging session) skip the gate with a notice.
 //
+// In -require-deterministic mode every report is validated, stripped of
+// its wall-time fields (obs.RunReport.StripWallTime), and re-encoded; the
+// run fails unless all encodings are byte-identical to the first. Two
+// crbench runs with the same seed, trials, and experiment list must agree
+// on everything but wall time — CI runs the smoke experiment twice and
+// feeds both reports through this gate, so a nondeterminism regression
+// (an unseeded random source, map-ordered output, a wall-clock leak into
+// a report field) fails the build.
+//
 // Exit status 0 means every report is well-formed (and, with -compare, no
 // regression was found); any defect prints a diagnostic and exits 1.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 	"github.com/uwb-sim/concurrent-ranging/ranging"
@@ -40,9 +52,11 @@ func main() {
 	comparePath := flag.String("compare", "", "baseline report to compare wall times against")
 	maxRegress := flag.Float64("max-regress", 4, "fail when an experiment exceeds this factor of its baseline wall time")
 	maxQualityDrop := flag.Float64("max-quality-drop", 1, "fail when the detection success rate drops by more than this many percentage points")
+	requireDet := flag.Bool("require-deterministic", false, "fail unless all reports are byte-identical after StripWallTime")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: reportcheck report.json [report2.json ...]")
 		fmt.Fprintln(os.Stderr, "       reportcheck -compare old.json new.json [-max-regress factor] [-max-quality-drop pp]")
+		fmt.Fprintln(os.Stderr, "       reportcheck -require-deterministic a.json b.json [more.json ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,6 +64,17 @@ func main() {
 	if len(args) < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *requireDet {
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "reportcheck: -require-deterministic takes at least two reports")
+			os.Exit(2)
+		}
+		if err := requireDeterministic(args); err != nil {
+			fmt.Fprintf(os.Stderr, "reportcheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *comparePath != "" {
 		if len(args) != 1 {
@@ -110,6 +135,51 @@ func check(path string) error {
 		return fmt.Errorf("experiments.trial_seconds sum is %g, want > 0", h.Sum)
 	}
 	return nil
+}
+
+// requireDeterministic validates every report and fails unless all of
+// them are byte-identical after StripWallTime: same seed, same trials,
+// same experiments ⇒ same everything-but-wall-time, the repository's
+// determinism contract.
+func requireDeterministic(paths []string) error {
+	var ref []byte
+	for i, path := range paths {
+		if err := check(path); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		r, err := obs.ReadReportFile(path)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := r.StripWallTime().Encode(&buf); err != nil {
+			return fmt.Errorf("%s: re-encoding stripped report: %w", path, err)
+		}
+		if i == 0 {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			return fmt.Errorf("%s is not deterministic against %s: stripped reports differ at %s",
+				path, paths[0], firstDiff(ref, buf.Bytes()))
+		}
+	}
+	fmt.Printf("%d reports byte-identical after StripWallTime\n", len(paths))
+	return nil
+}
+
+// firstDiff locates the first differing line of two indented JSON
+// encodings, so a determinism failure names the offending field instead
+// of dumping both reports.
+func firstDiff(a, b []byte) string {
+	al, bl := strings.Split(string(a), "\n"), strings.Split(string(b), "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, strings.TrimSpace(al[i]), strings.TrimSpace(bl[i]))
+		}
+	}
+	return fmt.Sprintf("line %d: encodings are prefixes of each other (%d vs %d lines)",
+		min(len(al), len(bl))+1, len(al), len(bl))
 }
 
 // regressGraceSeconds is added to the scaled baseline before comparing, so

@@ -202,6 +202,51 @@ func TestCompareQualityGate(t *testing.T) {
 	}
 }
 
+func TestRequireDeterministic(t *testing.T) {
+	// Two reports from "runs" differing only in wall time, start time,
+	// runtime stats, and *_seconds metrics: deterministic.
+	a := liveReport()
+	b := liveReport()
+	b.WallSeconds = 9.9
+	b.StartTime = "2001-01-01T00:00:00Z"
+	b.Runtime.TotalAllocBytes += 1 << 20
+	b.Experiments[0].WallSeconds = 7.7
+	for i := range b.Metrics.Histograms {
+		if strings.HasSuffix(b.Metrics.Histograms[i].Name, obs.WallTimeMetricSuffix) {
+			b.Metrics.Histograms[i].Sum *= 3
+		}
+	}
+	if err := requireDeterministic([]string{writeReport(t, a), writeReport(t, b)}); err != nil {
+		t.Fatalf("wall-time-only differences flagged as nondeterminism: %v", err)
+	}
+
+	// A deterministic field differing between runs must fail.
+	c := liveReport()
+	c.Experiments[0].OutputBytes = 101
+	err := requireDeterministic([]string{writeReport(t, a), writeReport(t, c)})
+	if err == nil || !strings.Contains(err.Error(), "not deterministic") {
+		t.Fatalf("output_bytes drift accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "output_bytes") {
+		t.Fatalf("diff does not name the offending field: %v", err)
+	}
+
+	// A metric value drift (the classic unseeded-randomness symptom) must
+	// fail too.
+	d := liveReport()
+	d.Metrics.Counters[0].Value++
+	if err := requireDeterministic([]string{writeReport(t, a), writeReport(t, d)}); err == nil {
+		t.Fatal("counter drift accepted")
+	}
+
+	// Invalid reports are rejected before comparison.
+	broken := liveReport()
+	broken.Experiments = nil
+	if err := requireDeterministic([]string{writeReport(t, a), writeReport(t, broken)}); err == nil {
+		t.Fatal("invalid report accepted by -require-deterministic")
+	}
+}
+
 func TestCheckRejectsGarbageFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "garbage.json")
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/channel"
 	"github.com/uwb-sim/concurrent-ranging/internal/core"
@@ -82,7 +81,7 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 
 	m := newMeter(cfg.Trials)
 	for trial := 0; trial < cfg.Trials; trial++ {
-		t0 := time.Now()
+		t0 := wallNow()
 		net, err := sim.NewNetwork(sim.NetworkConfig{
 			Environment:      channel.Hallway(),
 			Seed:             cfg.Seed + uint64(trial)*7919,
@@ -155,7 +154,7 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 				res.DetectedDelays = append(res.DetectedDelays, r.Delay*1e9)
 			}
 		}
-		m.trialDone(time.Since(t0))
+		m.trialDone(wallSince(t0))
 	}
 	for i := range stats {
 		res.MeanDistance[i] = stats[i].Mean()

@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand/v2"
 	"runtime"
-	"time"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/core"
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
@@ -116,18 +115,18 @@ func FullBank(cfg FullBankConfig) (*FullBankResult, error) {
 	for trial := 0; trial < cfg.Trials; trial++ {
 		err := m.timeTrial(func() error {
 			taps, noise := fullBankTrain(bank, cfg.Seed+uint64(trial)*9241, cfg.Responders)
-			t0 := time.Now()
+			t0 := wallNow()
 			want, err := ref.Detect(taps, noise)
 			if err != nil {
 				return err
 			}
-			t1 := time.Now()
+			t1 := wallNow()
 			got, err := fast.Detect(taps, noise)
 			if err != nil {
 				return err
 			}
 			res.ReferenceSeconds += t1.Sub(t0).Seconds()
-			res.SpectralSeconds += time.Since(t1).Seconds()
+			res.SpectralSeconds += wallSince(t1).Seconds()
 
 			agree := len(got) == len(want)
 			for i := 0; agree && i < len(want); i++ {

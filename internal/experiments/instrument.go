@@ -105,6 +105,20 @@ func instrumentNetwork(net *sim.Network) *sim.Network {
 	return net
 }
 
+// wallNow is this package's single sanctioned wall-clock read. Every
+// duration derived from it flows into progress callbacks or a *_seconds
+// field/metric, all of which StripWallTime removes from run reports, so
+// wall time never reaches a determinism-checked output. New wall-clock
+// uses must go through here (crlint's detrand analyzer enforces it).
+func wallNow() time.Time {
+	return time.Now() //lint:allow detrand wall time feeds only StripWallTime-stripped outputs
+}
+
+// wallSince returns the elapsed wall time since t0 (see wallNow).
+func wallSince(t0 time.Time) time.Duration {
+	return time.Since(t0) //lint:allow detrand wall time feeds only StripWallTime-stripped outputs
+}
+
 // meter tracks one campaign's trial progress. A nil meter is inert, so
 // callers create one unconditionally and tick without guards; newMeter
 // returns nil when no instrumentation is installed.
@@ -123,7 +137,7 @@ func newMeter(total int) *meter {
 	if in == nil || (in.Progress == nil && in.Recorder == nil) {
 		return nil
 	}
-	return &meter{total: total, start: time.Now(), progress: in.Progress, rec: in.Recorder}
+	return &meter{total: total, start: wallNow(), progress: in.Progress, rec: in.Recorder}
 }
 
 // trialDone records one finished trial of the given duration and pushes a
@@ -140,7 +154,7 @@ func (m *meter) trialDone(d time.Duration) {
 	if m.progress == nil {
 		return
 	}
-	elapsed := time.Since(m.start)
+	elapsed := wallSince(m.start)
 	var remaining time.Duration
 	if done > 0 && done < m.total {
 		remaining = time.Duration(float64(elapsed) / float64(done) * float64(m.total-done))
@@ -153,8 +167,8 @@ func (m *meter) timeTrial(fn func() error) error {
 	if m == nil {
 		return fn()
 	}
-	t0 := time.Now()
+	t0 := wallNow()
 	err := fn()
-	m.trialDone(time.Since(t0))
+	m.trialDone(wallSince(t0))
 	return err
 }

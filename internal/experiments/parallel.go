@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"time"
 )
 
 // parallelMap runs fn for every index in [0, n) across a bounded worker
@@ -59,9 +58,9 @@ func parallelMapWith[S, T any](n int, newWorker func() (S, error), fn func(s S, 
 					results[i], errs[i] = runTrial(state, i, fn)
 					continue
 				}
-				t0 := time.Now()
+				t0 := wallNow()
 				results[i], errs[i] = runTrial(state, i, fn)
-				m.trialDone(time.Since(t0))
+				m.trialDone(wallSince(t0))
 			}
 		}(states[w])
 	}

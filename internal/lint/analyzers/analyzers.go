@@ -1,0 +1,192 @@
+// Package analyzers holds crlint's project-specific checks. Each analyzer
+// machine-enforces one contract the reproduction's determinism claim
+// rests on (see DESIGN.md §12):
+//
+//   - detrand: deterministic packages take no wall-clock or
+//     global-randomness input, and never let map iteration order leak
+//     into outputs.
+//   - nilinstr: hot-path instrumentation calls are dominated by a nil
+//     check, preserving the zero-alloc disabled path.
+//   - bufalias: slices handed to reusable dsp plan executions never
+//     escape into struct fields or return values.
+//   - unitconv: unit arithmetic goes through the named conversion
+//     constants and types, not re-derived magic literals.
+//
+// Analyzers are package-path agnostic; Applicable owns the mapping from
+// repository layout to the analyzers that run there, so test fixtures can
+// exercise each analyzer from testdata packages.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+)
+
+// module is the import path this suite is built for; Applicable matches
+// repository packages against it.
+const module = "github.com/uwb-sim/concurrent-ranging"
+
+// Paths of the packages whose types the analyzers key on.
+const (
+	obsPath   = module + "/internal/obs"
+	tracePath = module + "/internal/obs/trace"
+	dspPath   = module + "/internal/dsp"
+)
+
+// deterministicPkgs are the packages whose outputs must be bit-identical
+// run-to-run for a fixed seed — the detrand surface.
+var deterministicPkgs = []string{
+	"internal/core",
+	"internal/dsp",
+	"internal/sim",
+	"internal/channel",
+	"internal/pulse",
+	"internal/experiments",
+}
+
+// nilinstrPkgs are the hot-path packages where every instrumentation call
+// must be nil-guarded.
+var nilinstrPkgs = []string{
+	"internal/core",
+	"internal/dsp",
+}
+
+// unitconvPkgs are the packages carrying the paper's timing/geometry unit
+// arithmetic.
+var unitconvPkgs = []string{
+	"internal/dw1000",
+	"internal/geom",
+}
+
+// All returns every analyzer in the suite.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{Detrand, Nilinstr, Bufalias, Unitconv}
+}
+
+// Applicable returns the analyzers that run on the package at pkgPath
+// given its direct imports. Bufalias applies to every dsp *caller* (dsp
+// itself owns the buffers it hands out).
+func Applicable(pkgPath string, imports []string) []*lint.Analyzer {
+	var out []*lint.Analyzer
+	if matchesAny(pkgPath, deterministicPkgs) {
+		out = append(out, Detrand)
+	}
+	if matchesAny(pkgPath, nilinstrPkgs) {
+		out = append(out, Nilinstr)
+	}
+	if pkgPath != dspPath {
+		for _, imp := range imports {
+			if imp == dspPath {
+				out = append(out, Bufalias)
+				break
+			}
+		}
+	}
+	if matchesAny(pkgPath, unitconvPkgs) {
+		out = append(out, Unitconv)
+	}
+	return out
+}
+
+func matchesAny(pkgPath string, rels []string) bool {
+	for _, rel := range rels {
+		if pkgPath == module+"/"+rel {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypeIn reports whether t (after stripping pointers and aliases) is
+// the named type pkgPath.name, and returns the matched name.
+func namedType(t types.Type) (pkgPath, name string, ok bool) {
+	if ptr, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := types.Unalias(t).(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// pkgFunc resolves a call to a package-level function (not a method) and
+// returns its defining package path and name.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return "", "", false
+	}
+	fn, isFn := info.Uses[id].(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// methodCall resolves a call to a method and returns the receiver
+// expression, the receiver's type, and the method name.
+func methodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, recvType types.Type, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, "", false
+	}
+	selection, found := info.Selections[sel]
+	if !found || selection.Kind() != types.MethodVal {
+		return nil, nil, "", false
+	}
+	return sel.X, selection.Recv(), sel.Sel.Name, true
+}
+
+// stmtListTerminates reports whether a statement list always transfers
+// control out of the enclosing block (return, branch, or panic).
+func stmtListTerminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				return fun.Name == "panic"
+			case *ast.SelectorExpr:
+				// os.Exit, log.Fatal*, t.Fatal* end the statement list
+				// for guard purposes.
+				return fun.Sel.Name == "Exit" || strings.HasPrefix(fun.Sel.Name, "Fatal")
+			}
+		}
+	case *ast.BlockStmt:
+		return stmtListTerminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return stmtTerminates(s.Body) && stmtTerminates(s.Else)
+	case *ast.LabeledStmt:
+		return stmtTerminates(s.Stmt)
+	}
+	return false
+}

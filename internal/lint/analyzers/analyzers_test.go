@@ -1,0 +1,93 @@
+package analyzers_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+	"github.com/uwb-sim/concurrent-ranging/internal/lint/analyzers"
+	"github.com/uwb-sim/concurrent-ranging/internal/lint/linttest"
+)
+
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, "testdata/detrand", analyzers.Detrand)
+}
+
+func TestNilinstr(t *testing.T) {
+	linttest.Run(t, "testdata/nilinstr", analyzers.Nilinstr)
+}
+
+func TestBufalias(t *testing.T) {
+	linttest.Run(t, "testdata/bufalias", analyzers.Bufalias)
+}
+
+func TestUnitconv(t *testing.T) {
+	linttest.Run(t, "testdata/unitconv", analyzers.Unitconv)
+}
+
+// TestSuppression checks the //lint:allow contract: a justified
+// suppression silences its analyzer on its line (or the line below a
+// directive on its own line), an unjustified one is itself reported and
+// silences nothing, and naming the wrong analyzer silences nothing.
+func TestSuppression(t *testing.T) {
+	pass := linttest.Load(t, "testdata/suppress")
+	diags := lint.RunAnalyzers(pass, []*lint.Analyzer{analyzers.Detrand})
+	var lintDiags, detrandDiags []lint.Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			lintDiags = append(lintDiags, d)
+		case "detrand":
+			detrandDiags = append(detrandDiags, d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d.Message)
+		}
+	}
+	if len(lintDiags) != 1 || !strings.Contains(lintDiags[0].Message, "needs a justification") {
+		t.Errorf("want exactly one unjustified-suppression diagnostic, got %v", lintDiags)
+	}
+	// bare() and wrongAnalyzer() stay flagged; sanctioned() and ownLine()
+	// are suppressed.
+	if len(detrandDiags) != 2 {
+		t.Errorf("want 2 surviving detrand diagnostics, got %d: %v", len(detrandDiags), detrandDiags)
+	}
+	for _, d := range detrandDiags {
+		if !strings.Contains(d.Message, "wall-clock read time.Now") {
+			t.Errorf("unexpected detrand diagnostic: %s", d.Message)
+		}
+	}
+}
+
+// TestApplicable pins the repository mapping: which analyzers run where.
+func TestApplicable(t *testing.T) {
+	const module = "github.com/uwb-sim/concurrent-ranging"
+	cases := []struct {
+		pkg     string
+		imports []string
+		want    []string
+	}{
+		{module + "/internal/core", []string{module + "/internal/dsp"}, []string{"detrand", "nilinstr", "bufalias"}},
+		{module + "/internal/dsp", nil, []string{"detrand", "nilinstr"}},
+		{module + "/internal/experiments", []string{module + "/internal/dsp"}, []string{"detrand", "bufalias"}},
+		{module + "/internal/dw1000", nil, []string{"unitconv"}},
+		{module + "/internal/geom", nil, []string{"unitconv"}},
+		{module + "/internal/obs", nil, nil},
+		{module + "/cmd/crbench", []string{"flag"}, nil},
+	}
+	for _, c := range cases {
+		var got []string
+		for _, a := range analyzers.Applicable(c.pkg, c.imports) {
+			got = append(got, a.Name)
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("Applicable(%s) = %v, want %v", c.pkg, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Applicable(%s) = %v, want %v", c.pkg, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+)
+
+// Detrand enforces the determinism contract in the packages whose outputs
+// must be bit-identical run-to-run for a fixed seed:
+//
+//   - no wall-clock reads (time.Now / time.Since / time.Until);
+//   - no math/rand (v1) at all — its package-level state defeats seeding;
+//   - no math/rand/v2 package-level draws (rand.IntN, rand.Float64, ...),
+//     which pull from the process-global, randomly seeded source; seeded
+//     sources built with rand.New(rand.NewPCG(seed, ...)) are the
+//     sanctioned path;
+//   - no `range` over a map whose body appends to a slice, writes
+//     output, or emits obs/trace events, unless the appended-to slice is
+//     sorted immediately after the loop — the classic path for map
+//     iteration order to leak into reports and traces.
+var Detrand = &lint.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock, global randomness, and map-order leaks in deterministic packages",
+	Run:  runDetrand,
+}
+
+// randV2Constructors are the math/rand/v2 package-level functions that
+// build explicitly seeded state rather than drawing from the global
+// source.
+var randV2Constructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runDetrand(p *lint.Pass) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && path == "math/rand" {
+				diags = append(diags, lint.Diagf(imp.Pos(),
+					"deterministic package imports math/rand; use a seeded math/rand/v2 source (rand.New(rand.NewPCG(seed, ...)))"))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				diags = append(diags, checkDetCall(p, n)...)
+			case *ast.BlockStmt:
+				diags = append(diags, checkMapRanges(p, n.List)...)
+			case *ast.CaseClause:
+				diags = append(diags, checkMapRanges(p, n.Body)...)
+			case *ast.CommClause:
+				diags = append(diags, checkMapRanges(p, n.Body)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkDetCall flags wall-clock reads and global-source randomness draws.
+func checkDetCall(p *lint.Pass, call *ast.CallExpr) []lint.Diagnostic {
+	pkgPath, name, ok := pkgFunc(p.Info, call)
+	if !ok {
+		return nil
+	}
+	switch pkgPath {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			return []lint.Diagnostic{lint.Diagf(call.Pos(),
+				"wall-clock read time.%s in a deterministic package; inject a clock or route the value through a StripWallTime-stripped field", name)}
+		}
+	case "math/rand/v2":
+		if !randV2Constructors[name] {
+			return []lint.Diagnostic{lint.Diagf(call.Pos(),
+				"rand.%s draws from the process-global source; draw from a seeded *rand.Rand (rand.New(rand.NewPCG(seed, ...)))", name)}
+		}
+	case "math/rand":
+		// The import is flagged once per file; flagging each call too
+		// would be noise.
+	}
+	return nil
+}
+
+// checkMapRanges scans one statement list for `range` over a map whose
+// body leaks iteration order, allowing the collect-then-sort idiom: an
+// append target that is sorted by a sort/slices call later in the same
+// statement list is fine.
+func checkMapRanges(p *lint.Pass, stmts []ast.Stmt) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for i, s := range stmts {
+		rng, ok := s.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := p.Info.TypeOf(rng.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		appended, ordered := mapRangeBodyEffects(p, rng.Body)
+		for _, target := range appended {
+			if !sortedAfter(p, stmts[i+1:], target) {
+				diags = append(diags, lint.Diagf(rng.Pos(),
+					"map iteration order leaks into %s; sort it after the loop or iterate over sorted keys", target))
+			}
+		}
+		diags = append(diags, ordered...)
+	}
+	return diags
+}
+
+// mapRangeBodyEffects walks a range-over-map body and returns the slice
+// variables appended to (candidates for the collect-then-sort idiom) plus
+// diagnostics for order-sensitive effects no later sort can repair:
+// output writes and obs/trace emissions.
+func mapRangeBodyEffects(p *lint.Pass, body *ast.BlockStmt) (appended []string, diags []lint.Diagnostic) {
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "append" {
+			if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" && len(call.Args) > 0 {
+				target := types.ExprString(call.Args[0])
+				if !seen[target] {
+					seen[target] = true
+					appended = append(appended, target)
+				}
+			}
+			return true
+		}
+		if pkgPath, name, isFn := pkgFunc(p.Info, call); isFn && pkgPath == "fmt" &&
+			(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			diags = append(diags, lint.Diagf(call.Pos(),
+				"map iteration order leaks into output via fmt.%s; iterate over sorted keys", name))
+			return true
+		}
+		if _, recvType, name, isMethod := methodCall(p.Info, call); isMethod {
+			if pkgPath, typeName, isNamed := namedType(recvType); isNamed &&
+				(pkgPath == obsPath || pkgPath == tracePath) {
+				diags = append(diags, lint.Diagf(call.Pos(),
+					"map iteration order leaks into instrumentation via %s.%s; iterate over sorted keys", typeName, name))
+			}
+		}
+		return true
+	})
+	return appended, diags
+}
+
+// sortedAfter reports whether a sort/slices call mentioning target occurs
+// in the statements following the loop.
+func sortedAfter(p *lint.Pass, rest []ast.Stmt, target string) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			pkgPath, _, isFn := pkgFunc(p.Info, call)
+			if !isFn || (pkgPath != "sort" && pkgPath != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if strings.Contains(types.ExprString(arg), target) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

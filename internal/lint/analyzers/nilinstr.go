@@ -1,0 +1,413 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+)
+
+// Nilinstr enforces the nil-instrument contract in the hot-path packages:
+// every method call on an obs.Recorder, *obs.Counter/Gauge/Histogram, or
+// *trace.Tracer / *trace.Span value must be dominated by a nil check on
+// that value (or by Span.Recording, the tracer's sanctioned liveness
+// predicate). The trace types are nil-safe by construction, but an
+// unguarded call site still pays argument construction — typically a
+// trace.Attrs map allocation — on the disabled path, which is exactly the
+// zero-alloc regression the contract exists to prevent.
+//
+// The check is a conservative per-function domination analysis: a call is
+// accepted when a syntactically identical receiver expression was
+// established non-nil by a dominating `x != nil` / `x == nil`-and-return
+// guard or an `x.Recording()` condition, and no intervening assignment
+// invalidated the fact. Function literals start with no facts (they may
+// run after the guard's window).
+var Nilinstr = &lint.Analyzer{
+	Name: "nilinstr",
+	Doc:  "instrumentation calls in hot-path packages must be nil-guarded",
+	Run:  runNilinstr,
+}
+
+// nilSafePredicates are instrument methods that are themselves guards or
+// pure accessors with no argument construction; calling them unguarded is
+// the idiom, not a violation.
+var nilSafePredicates = map[string]bool{
+	"Recording": true,
+	"ID":        true,
+}
+
+// instrumentType reports whether t is one of the instrument types the
+// contract covers.
+func instrumentType(t types.Type) (string, bool) {
+	pkgPath, name, ok := namedType(t)
+	if !ok {
+		return "", false
+	}
+	switch pkgPath {
+	case obsPath:
+		switch name {
+		case "Recorder", "Counter", "Gauge", "Histogram":
+			return "obs." + name, true
+		}
+	case tracePath:
+		switch name {
+		case "Tracer", "Span":
+			return "trace." + name, true
+		}
+	}
+	return "", false
+}
+
+func runNilinstr(p *lint.Pass) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			w := &nilWalker{pass: p}
+			w.stmts(fn.Body.List, newFacts(nil))
+			diags = append(diags, w.diags...)
+			return false // stmts descends into nested literals itself
+		})
+	}
+	return diags
+}
+
+// facts is the set of receiver expressions (by types.ExprString) known
+// non-nil at the current program point.
+type facts map[string]bool
+
+func newFacts(base facts) facts {
+	out := make(facts, len(base))
+	for k := range base {
+		out[k] = true
+	}
+	return out
+}
+
+func (f facts) add(other facts) {
+	for k := range other {
+		f[k] = true
+	}
+}
+
+// invalidate drops every fact the assigned expression could alias: the
+// expression itself and any selector path rooted in it.
+func (f facts) invalidate(expr string) {
+	for k := range f {
+		if k == expr || len(k) > len(expr) && k[:len(expr)] == expr && k[len(expr)] == '.' {
+			delete(f, k)
+		}
+	}
+}
+
+type nilWalker struct {
+	pass  *lint.Pass
+	diags []lint.Diagnostic
+}
+
+func (w *nilWalker) report(pos token.Pos, typeName, method, recv string) {
+	w.diags = append(w.diags, lint.Diagf(pos,
+		"%s.%s on %q is not dominated by a nil check; guard with `if %s != nil` (or Recording) to keep the disabled path allocation-free",
+		typeName, method, recv, recv))
+}
+
+// stmts analyzes one statement list, threading facts through guards whose
+// failing branch terminates.
+func (w *nilWalker) stmts(list []ast.Stmt, fs facts) {
+	for _, s := range list {
+		w.stmt(s, fs)
+	}
+}
+
+func (w *nilWalker) stmt(s ast.Stmt, fs facts) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, fs)
+		}
+		pos, neg := nilFacts(s.Cond)
+		w.expr(s.Cond, fs)
+		thenFacts := newFacts(fs)
+		thenFacts.add(pos)
+		w.stmts(s.Body.List, thenFacts)
+		elseFacts := newFacts(fs)
+		elseFacts.add(neg)
+		if s.Else != nil {
+			w.stmt(s.Else, elseFacts)
+		}
+		// A terminating branch promotes the other branch's facts to the
+		// rest of the enclosing list.
+		if stmtListTerminates(s.Body.List) {
+			fs.add(neg)
+		}
+		if s.Else != nil && stmtTerminates(s.Else) {
+			fs.add(pos)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, fs)
+		}
+		known := make([]bool, len(s.Lhs))
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, rhs := range s.Rhs {
+				known[i] = fs[types.ExprString(rhs)] || definitelyNonNil(rhs)
+			}
+		}
+		for i, lhs := range s.Lhs {
+			name := types.ExprString(lhs)
+			fs.invalidate(name)
+			if i < len(known) && known[i] {
+				fs[name] = true
+			}
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, fs)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, fs)
+		}
+	case *ast.DeferStmt:
+		w.callOrLit(s.Call, fs)
+	case *ast.GoStmt:
+		w.callOrLit(s.Call, fs)
+	case *ast.BlockStmt:
+		w.stmts(s.List, newFacts(fs))
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, fs)
+		}
+		body := newFacts(fs)
+		stripAssigned(body, s.Body)
+		if s.Cond != nil {
+			w.expr(s.Cond, body)
+			pos, _ := nilFacts(s.Cond)
+			body.add(pos)
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		w.stmts(s.Body.List, body)
+	case *ast.RangeStmt:
+		w.expr(s.X, fs)
+		body := newFacts(fs)
+		stripAssigned(body, s.Body)
+		w.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, fs)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, fs)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cf := newFacts(fs)
+				for _, e := range cc.List {
+					w.expr(e, cf)
+				}
+				w.stmts(cc.Body, cf)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, fs)
+		}
+		w.stmt(s.Assign, fs)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, newFacts(fs))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				cf := newFacts(fs)
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, cf)
+				}
+				w.stmts(cc.Body, cf)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, fs)
+	case *ast.IncDecStmt:
+		w.expr(s.X, fs)
+	case *ast.SendStmt:
+		w.expr(s.Chan, fs)
+		w.expr(s.Value, fs)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, fs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// callOrLit handles go/defer: a deferred function literal starts with no
+// facts (it runs outside the guard's window); a direct deferred method
+// call is checked against the facts at the defer site.
+func (w *nilWalker) callOrLit(call *ast.CallExpr, fs facts) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		for _, a := range call.Args {
+			w.expr(a, fs)
+		}
+		w.stmts(lit.Body.List, newFacts(nil))
+		return
+	}
+	w.expr(call, fs)
+}
+
+// expr checks every instrument method call reachable in e under fs,
+// threading short-circuit facts through && and ||.
+func (w *nilWalker) expr(e ast.Expr, fs facts) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.BinaryExpr:
+		w.expr(e.X, fs)
+		sub := newFacts(fs)
+		switch e.Op {
+		case token.LAND:
+			pos, _ := nilFacts(e.X)
+			sub.add(pos)
+		case token.LOR:
+			_, neg := nilFacts(e.X)
+			sub.add(neg)
+		}
+		w.expr(e.Y, sub)
+	case *ast.CallExpr:
+		if recv, recvType, name, ok := methodCall(w.pass.Info, e); ok {
+			if typeName, isInstr := instrumentType(recvType); isInstr && !nilSafePredicates[name] {
+				key := types.ExprString(recv)
+				if !fs[key] && !definitelyNonNil(recv) {
+					w.report(e.Pos(), typeName, name, key)
+				}
+			}
+		}
+		w.expr(e.Fun, fs)
+		for _, a := range e.Args {
+			w.expr(a, fs)
+		}
+	case *ast.FuncLit:
+		w.stmts(e.Body.List, newFacts(nil))
+	case *ast.ParenExpr:
+		w.expr(e.X, fs)
+	case *ast.UnaryExpr:
+		w.expr(e.X, fs)
+	case *ast.StarExpr:
+		w.expr(e.X, fs)
+	case *ast.SelectorExpr:
+		w.expr(e.X, fs)
+	case *ast.IndexExpr:
+		w.expr(e.X, fs)
+		w.expr(e.Index, fs)
+	case *ast.SliceExpr:
+		w.expr(e.X, fs)
+		w.expr(e.Low, fs)
+		w.expr(e.High, fs)
+		w.expr(e.Max, fs)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, fs)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, fs)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, fs)
+		w.expr(e.Value, fs)
+	}
+}
+
+// nilFacts extracts the receiver expressions known non-nil when cond is
+// true (pos) and when cond is false (neg).
+func nilFacts(cond ast.Expr) (pos, neg facts) {
+	pos, neg = facts{}, facts{}
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.NEQ, token.EQL:
+			var other ast.Expr
+			if isNilIdent(c.Y) {
+				other = c.X
+			} else if isNilIdent(c.X) {
+				other = c.Y
+			} else {
+				return pos, neg
+			}
+			if c.Op == token.NEQ {
+				pos[types.ExprString(other)] = true
+			} else {
+				neg[types.ExprString(other)] = true
+			}
+		case token.LAND:
+			// cond true ⇒ both true.
+			px, _ := nilFacts(c.X)
+			py, _ := nilFacts(c.Y)
+			pos.add(px)
+			pos.add(py)
+		case token.LOR:
+			// cond false ⇒ both false.
+			_, nx := nilFacts(c.X)
+			_, ny := nilFacts(c.Y)
+			neg.add(nx)
+			neg.add(ny)
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			p2, n2 := nilFacts(c.X)
+			return n2, p2
+		}
+	case *ast.CallExpr:
+		// x.Recording() true ⇒ x non-nil (the sanctioned span guard).
+		if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Recording" && len(c.Args) == 0 {
+			pos[types.ExprString(sel.X)] = true
+		}
+	}
+	return pos, neg
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// definitelyNonNil recognizes receiver expressions that cannot be nil:
+// address-of composite literals and composite literals themselves.
+func definitelyNonNil(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CompositeLit:
+		return true
+	}
+	return false
+}
+
+// stripAssigned removes facts for every expression assigned anywhere in
+// the loop body, so a fact established before iteration 1 cannot survive
+// a reassignment observed only on iteration 2.
+func stripAssigned(fs facts, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				fs.invalidate(types.ExprString(lhs))
+			}
+		case *ast.IncDecStmt:
+			fs.invalidate(types.ExprString(n.X))
+		}
+		return true
+	})
+}

@@ -1,0 +1,39 @@
+package fixture
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// seededDraw builds an explicitly seeded source — the sanctioned path.
+func seededDraw(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, 42))
+	return r.Float64()
+}
+
+// collectThenSort is the sanctioned map-iteration idiom: the appended-to
+// slice is sorted before anything can observe its order.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// timeArithmetic on values handed in is fine; only wall-clock reads are
+// forbidden.
+func timeArithmetic(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0)
+}
+
+// sliceRange iterates a slice, not a map: order is deterministic.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}

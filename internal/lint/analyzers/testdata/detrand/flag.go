@@ -1,0 +1,56 @@
+// Package fixture exercises the detrand analyzer: the flagging paths
+// live in this file, the sanctioned idioms in clean.go.
+package fixture
+
+import (
+	"fmt"
+	oldrand "math/rand" // want `deterministic package imports math/rand`
+	"math/rand/v2"
+	"time"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+)
+
+// wallClock reads the wall clock directly.
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+// elapsed reads the wall clock through time.Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+// globalDraw pulls from the process-global, randomly seeded source.
+func globalDraw() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global source`
+}
+
+// v1Source uses math/rand (v1): the import is flagged once per file, the
+// calls are not flagged again.
+func v1Source() *oldrand.Rand {
+	return oldrand.New(oldrand.NewSource(1))
+}
+
+// leakOrder appends under map iteration without sorting afterwards.
+func leakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks into keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// printOrder writes output in map iteration order.
+func printOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration order leaks into output via fmt\.Println`
+	}
+}
+
+// emitOrder records metrics in map iteration order.
+func emitOrder(m map[string]int, rec obs.Recorder) {
+	for k, v := range m {
+		rec.Count(k, int64(v)) // want `map iteration order leaks into instrumentation via Recorder\.Count`
+	}
+}

@@ -1,0 +1,53 @@
+// Package fixture exercises the nilinstr analyzer: unguarded
+// instrumentation calls live in this file, the sanctioned guard idioms in
+// clean.go.
+package fixture
+
+import (
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
+)
+
+// engine models a hot-path component with optional instrumentation.
+type engine struct {
+	rec    obs.Recorder
+	rounds *obs.Counter
+	load   *obs.Gauge
+	tracer *trace.Tracer
+}
+
+// unguardedRecorder calls the recorder with no dominating nil check.
+func (e *engine) unguardedRecorder() {
+	e.rec.Count("rounds", 1) // want `obs\.Recorder\.Count on .e\.rec. is not dominated by a nil check`
+}
+
+// unguardedCounter ticks a counter with no dominating nil check.
+func (e *engine) unguardedCounter() {
+	e.rounds.Inc() // want `obs\.Counter\.Inc on .e\.rounds.`
+}
+
+// unguardedSpan pays the trace.Attrs allocation even when tracing is off.
+func (e *engine) unguardedSpan() *trace.Span {
+	return e.tracer.Begin("detect", trace.Attrs{"round": 1}) // want `trace\.Tracer\.Begin on .e\.tracer.`
+}
+
+// invalidated reassigns the receiver after the guard: the fact dies.
+func (e *engine) invalidated(fresh obs.Recorder) {
+	if e.rec == nil {
+		return
+	}
+	e.rec = fresh
+	e.rec.Count("rounds", 1) // want `obs\.Recorder\.Count on .e\.rec.`
+}
+
+// deferredLit runs outside the guard's window: function literals start
+// with no facts.
+func (e *engine) deferredLit() {
+	if e.rec == nil {
+		return
+	}
+	defer func() {
+		e.rec.Count("rounds", 1) // want `obs\.Recorder\.Count on .e\.rec.`
+	}()
+	e.rec.Count("begin", 1)
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises //lint:allow suppression handling (checked
+// programmatically in analyzers_test.go, not via want comments, because
+// a suppression directive and a want directive cannot share a line).
+package fixture
+
+import "time"
+
+// sanctioned carries a justified suppression: no diagnostic.
+func sanctioned() time.Time {
+	return time.Now() //lint:allow detrand fixture: a justified suppression is honored
+}
+
+// bare carries an unjustified suppression: the lint complaint and the
+// underlying detrand diagnostic both fire.
+func bare() time.Time {
+	return time.Now() //lint:allow detrand
+}
+
+// wrongAnalyzer suppresses a different analyzer: detrand still fires.
+func wrongAnalyzer() time.Time {
+	return time.Now() //lint:allow nilinstr fixture: names the wrong analyzer
+}
+
+// ownLine suppresses the line below it, the form used when a line is too
+// long to carry the directive.
+func ownLine() time.Time {
+	//lint:allow detrand fixture: a directive on its own line covers the next line
+	return time.Now()
+}

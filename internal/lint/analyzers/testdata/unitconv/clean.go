@@ -1,0 +1,22 @@
+package fixture
+
+// scaled converts through the named constant: the unit boundary is
+// crossed explicitly and stays coupled to the constant.
+func scaled(s Samples) Meters {
+	return Meters(float64(s) * MetersPerSample)
+}
+
+// tick uses the named constant directly.
+func tick(n float64) float64 {
+	return n * TickSeconds
+}
+
+// smallInts are trivial values that legitimately appear as literals.
+func smallInts(s Samples) Samples {
+	return s*2 + 1
+}
+
+// untypedConversion to a builtin type is not a unit crossing.
+func untypedConversion(s Samples) float64 {
+	return float64(s)
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises the unitconv analyzer: re-derived magic
+// literals and unscaled cross-unit conversions live in this file, the
+// sanctioned named-constant arithmetic in clean.go.
+package fixture
+
+// Samples counts receiver samples; Meters measures distance. Converting
+// between them requires MetersPerSample.
+type (
+	Samples float64
+	Meters  float64
+)
+
+// MetersPerSample is the named conversion constant between the two unit
+// domains (speed of light over twice the sample rate, meters).
+const MetersPerSample = 0.299792458 / 2
+
+// TickSeconds is a second named constant the literal check must catch.
+const TickSeconds = 15.65e-12
+
+// unscaled crosses the unit boundary without the conversion constant:
+// the value silently keeps its samples magnitude.
+func unscaled(s Samples) Meters {
+	return Meters(s) // want `direct conversion Meters\(Samples\) crosses unit types`
+}
+
+// restated re-derives MetersPerSample as a raw literal, decoupling the
+// call site from the named constant.
+func restated(x float64) float64 {
+	return x * 0.149896229 // want `raw literal 0\.149896229 restates the named constant MetersPerSample`
+}
+
+// restatedTick re-derives TickSeconds.
+func restatedTick(n float64) float64 {
+	return n * 15.65e-12 // want `raw literal 15\.65e-12 restates the named constant TickSeconds`
+}

@@ -1,0 +1,169 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+)
+
+// Unitconv enforces unit hygiene in the packages carrying the paper's
+// timing and geometry arithmetic (Δ_RESP, δ_i, DTU ticks, samples,
+// meters), where the ns-vs-samples-vs-meters bug class lives:
+//
+//   - a raw numeric literal that (re)states the value of a named
+//     package-level conversion constant is flagged — `t * 1.565e-11`
+//     instead of `t * DTU` type-checks but silently decouples from the
+//     constant when it changes;
+//   - a direct conversion between two different named numeric unit types
+//     declared in the checked package (e.g. Meters(samples)) is flagged —
+//     crossing a unit boundary without the named conversion constant or
+//     method is exactly how a samples value becomes a "meters" value
+//     unscaled.
+//
+// Literals inside constant declarations (where the named values are
+// defined) and trivial values (small exact integers) are exempt.
+var Unitconv = &lint.Analyzer{
+	Name: "unitconv",
+	Doc:  "unit arithmetic must use the named conversion constants and types",
+	Run:  runUnitconv,
+}
+
+// relTolerance is the relative error under which a literal counts as
+// restating a named constant.
+const relTolerance = 1e-9
+
+func runUnitconv(p *lint.Pass) []lint.Diagnostic {
+	consts := namedNumericConsts(p.Pkg)
+	var diags []lint.Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				if n.Tok == token.CONST {
+					return false // definition sites are exempt
+				}
+			case *ast.BasicLit:
+				if n.Kind == token.INT || n.Kind == token.FLOAT {
+					if name, ok := matchesConst(n, consts); ok {
+						diags = append(diags, lint.Diagf(n.Pos(),
+							"raw literal %s restates the named constant %s; use the constant", n.Value, name))
+					}
+				}
+			case *ast.CallExpr:
+				diags = append(diags, checkUnitConversion(p, n)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// namedConst is one package-level numeric constant worth matching
+// literals against.
+type namedConst struct {
+	name string
+	val  float64
+}
+
+// namedNumericConsts collects the package's own numeric constants,
+// skipping trivial values (exact integers in [-16, 16]) that legitimately
+// appear as literals everywhere.
+func namedNumericConsts(pkg *types.Package) []namedConst {
+	var out []namedConst
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		v := c.Val()
+		if v.Kind() != constant.Int && v.Kind() != constant.Float {
+			continue
+		}
+		f, _ := constant.Float64Val(v)
+		if trivialValue(f) || math.IsInf(f, 0) || math.IsNaN(f) {
+			continue
+		}
+		out = append(out, namedConst{name: name, val: f})
+	}
+	return out
+}
+
+func trivialValue(f float64) bool {
+	return f == math.Trunc(f) && math.Abs(f) <= 16
+}
+
+// matchesConst reports the first named constant the literal restates.
+func matchesConst(lit *ast.BasicLit, consts []namedConst) (string, bool) {
+	v := constant.MakeFromLiteral(lit.Value, lit.Kind, 0)
+	if v.Kind() == constant.Unknown {
+		return "", false
+	}
+	f, _ := constant.Float64Val(v)
+	if trivialValue(f) {
+		return "", false
+	}
+	for _, c := range consts {
+		if relClose(f, c.val) {
+			return c.name, true
+		}
+	}
+	return "", false
+}
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return scale > 0 && math.Abs(a-b)/scale < relTolerance
+}
+
+// checkUnitConversion flags T(x) where T and x's type are different named
+// numeric types declared in the checked package.
+func checkUnitConversion(p *lint.Pass, call *ast.CallExpr) []lint.Diagnostic {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	dstPath, dstName, ok := localNumericNamed(p, tv.Type)
+	if !ok {
+		return nil
+	}
+	argType := p.Info.TypeOf(call.Args[0])
+	if argType == nil {
+		return nil
+	}
+	srcPath, srcName, ok := localNumericNamed(p, argType)
+	if !ok || (srcPath == dstPath && srcName == dstName) {
+		return nil
+	}
+	return []lint.Diagnostic{lint.Diagf(call.Pos(),
+		"direct conversion %s(%s) crosses unit types without a named conversion; multiply by the conversion constant or use a conversion method",
+		dstName, srcName)}
+}
+
+// localNumericNamed reports whether t is a named type with a numeric
+// underlying type declared in the package under analysis.
+func localNumericNamed(p *lint.Pass, t types.Type) (pkgPath, name string, ok bool) {
+	named, isNamed := types.Unalias(t).(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != p.Path {
+		return "", "", false
+	}
+	basic, isBasic := named.Underlying().(*types.Basic)
+	if !isBasic || basic.Info()&types.IsNumeric == 0 {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}

@@ -1,0 +1,163 @@
+// Package lint is a minimal, dependency-free static-analysis framework in
+// the spirit of golang.org/x/tools/go/analysis, built on the standard
+// library's go/ast and go/types so the repository's project-specific
+// analyzers (cmd/crlint) need nothing beyond the Go toolchain.
+//
+// An Analyzer inspects one type-checked package (a Pass) and returns
+// Diagnostics. RunAnalyzers applies a set of analyzers to a package and
+// filters the results through //lint:allow suppression comments:
+//
+//	foo() //lint:allow detrand wall time feeds a StripWallTime-stripped field
+//
+// A suppression must name the analyzer it silences and carry a
+// justification; a bare //lint:allow with no reason is itself reported.
+// The suppression applies to diagnostics on its own line or, for a
+// comment on a line of its own, the line below it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is a one-paragraph description of the contract it enforces.
+	Doc string
+	// Run inspects the pass and returns its findings.
+	Run func(*Pass) []Diagnostic
+}
+
+// Pass is the unit of work handed to an Analyzer: one fully type-checked
+// package.
+type Pass struct {
+	// Path is the package's import path.
+	Path string
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's expression and object facts.
+	Info *types.Info
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message states the contract violation.
+	Message string
+}
+
+// Diagf builds a Diagnostic (the Analyzer field is stamped by
+// RunAnalyzers).
+func Diagf(pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)}
+}
+
+// allowRe matches the suppression directive. The directive marker must be
+// the first token of the comment text.
+var allowRe = regexp.MustCompile(`^lint:allow\s+([A-Za-z0-9_-]+)\s*(.*)$`)
+
+// suppression is one parsed //lint:allow directive.
+type suppression struct {
+	analyzer  string
+	justified bool
+	file      string
+	line      int
+}
+
+// suppressions extracts every //lint:allow directive from the pass.
+func suppressions(p *Pass) []suppression {
+	var out []suppression
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				out = append(out, suppression{
+					analyzer:  m[1],
+					justified: strings.TrimSpace(m[2]) != "",
+					file:      pos.Filename,
+					line:      pos.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies the analyzers to the package, stamps analyzer
+// names, filters //lint:allow-suppressed findings, reports unjustified
+// suppressions (as analyzer "lint"), and returns the remainder sorted by
+// position.
+func RunAnalyzers(p *Pass, analyzers []*Analyzer) []Diagnostic {
+	sups := suppressions(p)
+	allowed := make(map[string]bool) // "file:line:analyzer"
+	var diags []Diagnostic
+	for _, s := range sups {
+		if !s.justified {
+			diags = append(diags, Diagnostic{
+				Analyzer: "lint",
+				Pos:      posAt(p, s.file, s.line),
+				Message:  fmt.Sprintf("lint:allow %s needs a justification comment after the analyzer name", s.analyzer),
+			})
+			continue
+		}
+		allowed[fmt.Sprintf("%s:%d:%s", s.file, s.line, s.analyzer)] = true
+		// A directive on its own line suppresses the line below it.
+		allowed[fmt.Sprintf("%s:%d:%s", s.file, s.line+1, s.analyzer)] = true
+	}
+	for _, a := range analyzers {
+		for _, d := range a.Run(p) {
+			d.Analyzer = a.Name
+			pos := p.Fset.Position(d.Pos)
+			if allowed[fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, a.Name)] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := p.Fset.Position(diags[i].Pos), p.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// posAt recovers a token.Pos for a file/line pair, so suppression
+// diagnostics print a real location.
+func posAt(p *Pass, file string, line int) token.Pos {
+	var pos token.Pos
+	p.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() == file {
+			if line <= f.LineCount() {
+				pos = f.LineStart(line)
+			}
+			return false
+		}
+		return true
+	})
+	return pos
+}

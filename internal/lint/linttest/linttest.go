@@ -1,0 +1,146 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their diagnostics against expectations embedded in the fixture source,
+// in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m { // want `map iteration order leaks`
+//
+// A `// want` comment carries one or more quoted regular expressions
+// (double-quoted or backquoted); each must match exactly one diagnostic
+// on the comment's line, and every diagnostic must be claimed by an
+// expectation. Fixtures live under testdata and are loaded with the same
+// lint.Loader the crlint driver uses, so they may import packages of
+// this module.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+)
+
+// Load parses and type-checks the fixture package at dir (relative to the
+// test's working directory) and returns it as a Pass. Load fails the test
+// on any parse or type error — fixtures must stay buildable.
+func Load(t *testing.T, dir string) *lint.Pass {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: resolving %s: %v", dir, err)
+	}
+	root, err := moduleRoot(abs)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pass, err := loader.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", dir, err)
+	}
+	return pass
+}
+
+// Run loads the fixture package at dir, applies the analyzers, and
+// compares the diagnostics against the fixture's `// want` expectations.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pass := Load(t, dir)
+	wants := expectations(t, pass)
+	for _, d := range lint.RunAnalyzers(pass, analyzers) {
+		pos := pass.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !claim(wants[key], d.Message) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s",
+				filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s:%d matching %q",
+					filepath.Base(w.file), w.line, w.re.String())
+			}
+		}
+	}
+}
+
+// want is one expected-diagnostic pattern at one source line.
+type want struct {
+	re      *regexp.Regexp
+	file    string
+	line    int
+	matched bool
+}
+
+// claim marks the first unmatched expectation whose pattern matches the
+// message, reporting whether one was found.
+func claim(ws []*want, message string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantArgRe extracts the quoted patterns of a want directive.
+var wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// expectations parses every `// want` comment of the fixture into
+// per-line expectation lists keyed by "file:line".
+func expectations(t *testing.T, pass *lint.Pass) map[string][]*want {
+	t.Helper()
+	out := make(map[string][]*want)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllString(rest, -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: want directive carries no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, arg := range args {
+					pat, err := strconv.Unquote(arg)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, arg, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					out[key] = append(out[key], &want{re: re, file: pos.Filename, line: pos.Line})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above fixture directory")
+		}
+		dir = parent
+	}
+}
