@@ -294,6 +294,7 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 	defer experiments.SetInstrumentation(nil)
 
 	report = obs.NewRunReport("crbench", cfg.Seed, cfg.Trials)
+	experiments.TakeBatchThroughput() // discard any stale tally
 	start := time.Now()
 	for i, name := range names {
 		printer.setLabel(name)
@@ -303,11 +304,15 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		printer.clear()
-		report.Experiments = append(report.Experiments, obs.ExperimentReport{
+		er := obs.ExperimentReport{
 			Name:        strings.ToLower(name),
 			WallSeconds: time.Since(t0).Seconds(),
 			OutputBytes: len(out),
-		})
+		}
+		if cirs, secs := experiments.TakeBatchThroughput(); cirs > 0 && secs > 0 {
+			er.CIRsPerSecond = float64(cirs) / secs
+		}
+		report.Experiments = append(report.Experiments, er)
 		fmt.Fprint(cfg.Stdout, out)
 		fmt.Fprintln(cfg.Stdout)
 	}
@@ -369,8 +374,12 @@ func (p *progressPrinter) update(pr experiments.Progress) {
 	if pr.Remaining > 0 {
 		eta = fmt.Sprintf(" eta %s", pr.Remaining.Round(time.Second))
 	}
+	percent := 100.0
+	if pr.Total > 0 {
+		percent = 100 * float64(pr.Done) / float64(pr.Total)
+	}
 	fmt.Fprintf(p.w, "\r\x1b[2K%s: %d/%d trials (%.0f%%)%s",
-		p.label, pr.Done, pr.Total, 100*float64(pr.Done)/float64(pr.Total), eta)
+		p.label, pr.Done, pr.Total, percent, eta)
 }
 
 // clear ends the progress line before regular output resumes.

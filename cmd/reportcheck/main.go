@@ -222,6 +222,14 @@ func compare(oldPath, newPath string, maxRegress, maxQualityDrop float64) error 
 			continue
 		}
 		compared++
+		// A zero (or garbage-negative) baseline cannot scale into a
+		// meaningful limit — the old factor-of-baseline math degenerated
+		// to gating everything against the bare grace term. Skip with a
+		// notice instead of failing on an undefined ratio.
+		if old <= 0 {
+			fmt.Printf("%-10s baseline wall time %gs; wall gate skipped\n", e.Name, old)
+			continue
+		}
 		limit := old*maxRegress + regressGraceSeconds
 		status := "ok"
 		if e.WallSeconds > limit {
@@ -240,7 +248,51 @@ func compare(oldPath, newPath string, maxRegress, maxQualityDrop float64) error 
 	if err := compareQuality(oldR, newR, maxQualityDrop); err != nil {
 		return err
 	}
+	if err := compareThroughput(oldR, newR, maxRegress); err != nil {
+		return err
+	}
 	fmt.Printf("%s vs %s: %d experiments within %gx\n", newPath, oldPath, compared, maxRegress)
+	return nil
+}
+
+// compareThroughput gates batch-detection throughput per experiment: when
+// both reports carry a CIRsPerSecond measurement for an experiment, the
+// comparison fails if the new rate fell below baseline/maxRegress. An
+// experiment where only one side measured throughput prints a notice and
+// skips the gate — that is a changed experiment list or a newly added
+// measurement, not a regression signal.
+func compareThroughput(oldR, newR *obs.RunReport, maxRegress float64) error {
+	baseline := make(map[string]float64, len(oldR.Experiments))
+	for _, e := range oldR.Experiments {
+		baseline[e.Name] = e.CIRsPerSecond
+	}
+	failed := 0
+	for _, e := range newR.Experiments {
+		old, ok := baseline[e.Name]
+		if !ok {
+			continue
+		}
+		switch {
+		case old > 0 && e.CIRsPerSecond > 0:
+			floor := old / maxRegress
+			status := "ok"
+			if e.CIRsPerSecond < floor {
+				status = fmt.Sprintf("REGRESSION (floor %.1f CIRs/s)", floor)
+				failed++
+			}
+			fmt.Printf("throughput %-10s %8.1f -> %8.1f CIRs/s (%.2fx) %s\n",
+				e.Name, old, e.CIRsPerSecond, ratio(e.CIRsPerSecond, old), status)
+		case old > 0:
+			fmt.Printf("throughput %-10s baseline %.1f CIRs/s but new report has no measurement; gate skipped\n",
+				e.Name, old)
+		case e.CIRsPerSecond > 0:
+			fmt.Printf("throughput %-10s %.1f CIRs/s with no baseline measurement; gate skipped\n",
+				e.Name, e.CIRsPerSecond)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiments regressed batch throughput beyond %gx", failed, maxRegress)
+	}
 	return nil
 }
 

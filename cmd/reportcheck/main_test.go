@@ -113,6 +113,61 @@ func TestCompareWallTimes(t *testing.T) {
 	}
 }
 
+func TestCompareSkipsZeroWallBaseline(t *testing.T) {
+	// A baseline experiment whose wall time never got recorded (0) cannot
+	// scale into a limit; the wall gate must skip it with a notice instead
+	// of gating the new run against bare grace (the old division-by-zero
+	// shaped failure).
+	base := liveReport()
+	base.Experiments = []obs.ExperimentReport{
+		{Name: "sec5", WallSeconds: 0, OutputBytes: 100},
+		{Name: "sec6", WallSeconds: 0.1, OutputBytes: 100},
+	}
+	next := liveReport()
+	next.Experiments = []obs.ExperimentReport{
+		{Name: "sec5", WallSeconds: 30, OutputBytes: 100}, // would trip any scaled limit
+		{Name: "sec6", WallSeconds: 0.2, OutputBytes: 100},
+	}
+	if err := compare(writeReport(t, base), writeReport(t, next), 4, 1); err != nil {
+		t.Fatalf("zero-wall baseline not skipped: %v", err)
+	}
+}
+
+func TestCompareThroughputGate(t *testing.T) {
+	withRate := func(rate float64) *obs.RunReport {
+		r := liveReport()
+		r.Experiments = []obs.ExperimentReport{
+			{Name: "fullbank", WallSeconds: 0.1, OutputBytes: 100, CIRsPerSecond: rate},
+		}
+		return r
+	}
+	cases := []struct {
+		name     string
+		old, new *obs.RunReport
+		wantErr  string // "" = pass
+	}{
+		{"within limit", withRate(100), withRate(30), ""}, // 100/4 = 25 floor
+		{"regression fails", withRate(100), withRate(20), "batch throughput"},
+		{"improvement passes", withRate(100), withRate(500), ""},
+		{"skipped without baseline measurement", withRate(0), withRate(100), ""},
+		{"skipped without new measurement", withRate(100), withRate(0), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := compare(writeReport(t, tc.old), writeReport(t, tc.new), 4, 1)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("compare failed: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestCompareGraceAbsorbsTinyBaselines(t *testing.T) {
 	base := liveReport()
 	base.Experiments = []obs.ExperimentReport{{Name: "sec5", WallSeconds: 0.001, OutputBytes: 100}}

@@ -162,15 +162,16 @@ type Detector struct {
 	// Cached frequency-domain execution state for one CIR length
 	// (precomputed for dw1000.CIRLength, rebuilt if a caller detects on a
 	// different window) plus scratch reused across iterations.
-	cirLen   int
-	upsample *dsp.UpsamplePlan
-	fbank    *dsp.MatchedFilterBank
-	sbank    *dsp.SpectralBank // nil unless the spectral path is active
-	residual []complex128
-	up       []complex128
-	yCur     []complex128
-	skipQ    []dsp.SkipInterval // per-round suppressed intervals, q-space
-	workers  []detectWorker     // per-worker scratch for the template fan-out
+	cirLen    int
+	upsample  *dsp.UpsamplePlan
+	fbank     *dsp.MatchedFilterBank
+	sbank     *dsp.SpectralBank // nil unless the spectral path is active
+	residual  []complex128
+	up        []complex128
+	yCur      []complex128
+	skipQ     []dsp.SkipInterval // per-round suppressed intervals, q-space
+	extracted []float64          // per-call already-subtracted peak positions, T_s samples
+	workers   []detectWorker     // per-worker scratch for the template fan-out
 
 	// rec is the optional instrumentation sink (nil = disabled, the
 	// default). The last* fields remember the dsp plan counters at the
@@ -393,16 +394,29 @@ func (d *Detector) Config() DetectorConfig { return d.cfg }
 // shape), records (α̂_k, τ_k), and subtracts α̂_k·s_i(t−τ_k) from the
 // residual before searching again.
 func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, error) {
+	out, err := d.detectAppend(nil, taps, noiseRMS)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// detectAppend is Detect appending its responses to dst (which may be a
+// batch worker's arena; only dst[len(dst):cap] is written). On error the
+// returned slice is dst rolled back to its original length, so a failed
+// item never leaves partial responses behind. The appended window is
+// sorted by delay independently of dst's existing contents.
+func (d *Detector) detectAppend(dst []Response, taps []complex128, noiseRMS float64) ([]Response, error) {
 	if len(taps) == 0 {
-		return nil, fmt.Errorf("core: empty CIR")
+		return dst, fmt.Errorf("core: empty CIR")
 	}
 	useThreshold := !d.cfg.DisableThreshold
 	if useThreshold && noiseRMS <= 0 {
-		return nil, fmt.Errorf("core: noise RMS %g must be positive for thresholded detection", noiseRMS)
+		return dst, fmt.Errorf("core: noise RMS %g must be positive for thresholded detection", noiseRMS)
 	}
 	threshold := d.cfg.ThresholdFactor * noiseRMS
 	if err := d.ensureState(len(taps)); err != nil {
-		return nil, err
+		return dst, err
 	}
 	residual := d.residual
 	copy(residual, taps)
@@ -434,14 +448,14 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		up := d.upsample.Execute(d.up, residual)
 		if err := d.sbank.Ingest(up); err != nil {
 			failDetectSpan(span, err)
-			return nil, err
+			return dst, err
 		}
 	}
 
-	var responses []Response
-	var extractedPos []float64 // peak positions already subtracted, in T_s samples
+	responses, base := dst, len(dst)
+	d.extracted = d.extracted[:0] // peak positions already subtracted, in T_s samples
 	for iter := 0; iter < d.cfg.MaxIterations; iter++ {
-		if d.cfg.MaxResponses > 0 && len(responses) >= d.cfg.MaxResponses {
+		if d.cfg.MaxResponses > 0 && len(responses)-base >= d.cfg.MaxResponses {
 			stop = trace.ReasonMaxResponses
 			break
 		}
@@ -455,14 +469,14 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 			up := d.upsample.Execute(d.up, residual)
 			if err := d.fbank.Transform(up); err != nil {
 				failDetectSpan(span, err)
-				return nil, err
+				return responses[:base], err
 			}
 		}
-		d.skipQ = appendSuppressedIntervals(d.skipQ[:0], extractedPos, d.cfg.Upsample)
+		d.skipQ = appendSuppressedIntervals(d.skipQ[:0], d.extracted, d.cfg.Upsample)
 		best, err := d.searchTemplates(spectral)
 		if err != nil {
 			failDetectSpan(span, err)
-			return nil, err
+			return responses[:base], err
 		}
 		if best.t < 0 {
 			stop = trace.ReasonNoCandidate
@@ -523,22 +537,22 @@ func (d *Detector) Detect(taps []complex128, noiseRMS float64) ([]Response, erro
 		if spectral {
 			if err := d.spectralSubtract(best.t, alpha, peakPos); err != nil {
 				failDetectSpan(span, err)
-				return nil, err
+				return responses[:base], err
 			}
 		}
-		extractedPos = append(extractedPos, peakPos)
+		d.extracted = append(d.extracted, peakPos)
 		if span != nil {
 			d.emitRound(span, rounds-1, best, peakPos, alpha, threshold, useThreshold, trace.ReasonAccepted, inputEnergy)
 		}
 	}
-	sortResponsesByDelay(responses)
+	sortResponsesByDelay(responses[base:])
 	if d.rec != nil {
-		d.recordDetect(responses, rounds, refineSteps, threshold, useThreshold, inputEnergy)
+		d.recordDetect(responses[base:], rounds, refineSteps, threshold, useThreshold, inputEnergy)
 	}
 	if span != nil {
 		span.EndWith(trace.Attrs{
 			trace.AttrReason: stop,
-			"responses":      len(responses),
+			"responses":      len(responses) - base,
 			"rounds":         rounds,
 			"refine_steps":   refineSteps,
 		})

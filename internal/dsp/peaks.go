@@ -8,8 +8,15 @@ type Peak struct {
 	Value float64
 }
 
-// LocalMaxima returns every strict local maximum of mag that is at least
-// minValue, in ascending index order. A plateau reports its first sample.
+// LocalMaxima returns every local maximum of mag that is at least
+// minValue, in ascending index order. A maximum must be followed by a
+// strict drop inside the array: a signal that rises or plateaus into the
+// last sample is a truncated peak whose drop was never observed, so it is
+// not reported — the same rule that already excluded constant signals and
+// interior plateaus followed by a rise. At the array start no preceding
+// rise is required (the drop away from index 0 is evidence enough), so a
+// falling signal reports index 0. A plateau reports its first sample.
+// Single-sample inputs have no room for a drop and report nothing.
 func LocalMaxima(mag []float64, minValue float64) []Peak {
 	var peaks []Peak
 	n := len(mag)
@@ -21,16 +28,14 @@ func LocalMaxima(mag []float64, minValue float64) []Peak {
 		if i > 0 && mag[i-1] >= v {
 			continue
 		}
-		// Walk any plateau to the right; require a drop after it.
+		// Walk any plateau to the right; require a strict drop after it,
+		// observed inside the array.
 		j := i
 		for j+1 < n && mag[j+1] == v {
 			j++
 		}
-		if j+1 < n && mag[j+1] > v {
+		if j+1 >= n || mag[j+1] > v {
 			continue
-		}
-		if i == 0 && j == n-1 {
-			continue // constant signal: no local maximum
 		}
 		peaks = append(peaks, Peak{Index: i, Value: v})
 		i = j

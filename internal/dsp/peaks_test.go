@@ -35,14 +35,33 @@ func TestLocalMaximaConstantSignal(t *testing.T) {
 
 func TestLocalMaximaEdges(t *testing.T) {
 	// A falling signal has its maximum at index 0; LocalMaxima reports it
-	// because nothing to the left exceeds it.
+	// because the drop away from index 0 was observed.
 	peaks := LocalMaxima([]float64{5, 3, 1}, 0)
 	if len(peaks) != 1 || peaks[0].Index != 0 {
-		t.Fatalf("got %v", peaks)
+		t.Fatalf("falling signal: got %v", peaks)
 	}
-	peaks = LocalMaxima([]float64{1, 3, 5}, 0)
-	if len(peaks) != 1 || peaks[0].Index != 2 {
-		t.Fatalf("got %v", peaks)
+	// A signal rising into the last sample is a truncated peak: the drop
+	// was never observed, so nothing is reported — consistent with the
+	// constant-signal rule.
+	if peaks := LocalMaxima([]float64{1, 3, 5}, 0); len(peaks) != 0 {
+		t.Fatalf("rising-to-edge: got %v", peaks)
+	}
+	// Same for a plateau running into the last sample.
+	if peaks := LocalMaxima([]float64{1, 3, 3}, 0); len(peaks) != 0 {
+		t.Fatalf("plateau-at-edge: got %v", peaks)
+	}
+	// An interior plateau whose drop does arrive still reports its first
+	// sample.
+	peaks = LocalMaxima([]float64{1, 3, 3, 2}, 0)
+	if len(peaks) != 1 || peaks[0] != (Peak{1, 3}) {
+		t.Fatalf("interior plateau: got %v", peaks)
+	}
+	// Single-sample and empty inputs have no room for a drop.
+	if peaks := LocalMaxima([]float64{7}, 0); len(peaks) != 0 {
+		t.Fatalf("single sample: got %v", peaks)
+	}
+	if peaks := LocalMaxima(nil, 0); len(peaks) != 0 {
+		t.Fatalf("empty input: got %v", peaks)
 	}
 }
 

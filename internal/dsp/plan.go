@@ -26,6 +26,7 @@ import (
 type FFTPlan struct {
 	n      int
 	swaps  [][2]int32
+	rev    []int32      // full bit-reversal index table (rev[i] = reverse of i)
 	fwd    []complex128 // forward twiddles, one block of size/2 per stage
 	inv    []complex128 // inverse twiddles, same layout
 	fa, fb []complex128 // lazily sized scratch for ConvolveWith
@@ -42,8 +43,10 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 		return p, nil
 	}
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	p.rev = make([]int32, n)
 	for i := 0; i < n; i++ {
 		j := int(bits.Reverse64(uint64(i)) >> shift)
+		p.rev[i] = int32(j)
 		if j > i {
 			p.swaps = append(p.swaps, [2]int32{int32(i), int32(j)})
 		}
@@ -101,23 +104,204 @@ func (p *FFTPlan) mustLen(v []complex128) {
 // transform runs the butterfly passes with a precomputed twiddle table; no
 // normalization is applied (the Bluestein driver needs the raw inverse).
 func (p *FFTPlan) transform(v []complex128, tw []complex128) {
-	n := p.n
-	if n <= 1 {
+	if p.n <= 1 {
 		return
 	}
 	for _, s := range p.swaps {
 		v[s[0]], v[s[1]] = v[s[1]], v[s[0]]
 	}
-	off := 0
-	for size := 2; size <= n; size <<= 1 {
+	p.passes(v, tw)
+}
+
+// productTransform fills v with the elementwise product a⊙b and runs the
+// butterfly passes on it — equivalent to writing the products in index
+// order and calling transform, but one array traversal cheaper: the
+// bit-reversal permutation is applied while the products are written, so
+// the separate swap pass disappears. Each product is computed from the
+// same two operands either way, so results are bit-identical.
+func (p *FFTPlan) productTransform(v, a, b []complex128, tw []complex128) {
+	p.mustLen(v)
+	p.mustLen(a)
+	p.mustLen(b)
+	n := p.n
+	switch {
+	case n <= 1:
+		if n == 1 {
+			v[0] = a[0] * b[0]
+		}
+		return
+	case n == 2:
+		x0, x1 := a[0]*b[0], a[1]*b[1]
+		v[0], v[1] = x0+x1, x0-x1
+		return
+	}
+	// Permutation, product, and the first two butterfly stages all fuse
+	// into one pass: each product is loaded through the bit-reversal
+	// table and fed straight into the size-2 and size-4 butterflies of
+	// its 4-sample block, skipping two full store/reload traversals.
+	// Every operation still sees the same operands in the same order, so
+	// results are bit-identical to the staged form.
+	w4 := tw[2]
+	for i := 0; i < n; i += 4 {
+		r := p.rev[i : i+4 : i+4]
+		x0 := a[r[0]] * b[r[0]]
+		x1 := a[r[1]] * b[r[1]]
+		x2 := a[r[2]] * b[r[2]]
+		x3 := a[r[3]] * b[r[3]]
+		b0, b1 := x0+x1, x0-x1
+		b2, b3 := x2+x3, x2-x3
+		t := b3 * w4
+		q := v[i : i+4 : i+4]
+		q[0], q[2] = b0+b2, b0-b2
+		q[1], q[3] = b1+t, b1-t
+	}
+	p.tailPasses(v, tw)
+}
+
+// permuteInto writes the bit-reversal permutation of src into dst:
+// dst[i] = src[rev[i]]. Both must have the plan's length. Operands
+// stored pre-permuted let productTransformPermuted run with purely
+// sequential loads — the gather through the reversal table disappears
+// from the hot loop.
+func (p *FFTPlan) permuteInto(dst, src []complex128) {
+	p.mustLen(dst)
+	p.mustLen(src)
+	if p.n <= 1 {
+		copy(dst, src)
+		return
+	}
+	for i, r := range p.rev {
+		dst[i] = src[r]
+	}
+}
+
+// productTransformPermuted is productTransform for operands that are
+// already stored in bit-reversed order (see permuteInto): the products
+// stream sequentially through memory with no gathers. Each product pairs
+// the same two values as the natural-order form, so results are
+// bit-identical.
+func (p *FFTPlan) productTransformPermuted(v, ar, br []complex128, tw []complex128) {
+	p.mustLen(v)
+	p.mustLen(ar)
+	p.mustLen(br)
+	n := p.n
+	switch {
+	case n <= 1:
+		if n == 1 {
+			v[0] = ar[0] * br[0]
+		}
+		return
+	case n == 2:
+		x0, x1 := ar[0]*br[0], ar[1]*br[1]
+		v[0], v[1] = x0+x1, x0-x1
+		return
+	}
+	w4 := tw[2]
+	for i := 0; i < n; i += 4 {
+		x0 := ar[i] * br[i]
+		x1 := ar[i+1] * br[i+1]
+		x2 := ar[i+2] * br[i+2]
+		x3 := ar[i+3] * br[i+3]
+		b0, b1 := x0+x1, x0-x1
+		b2, b3 := x2+x3, x2-x3
+		t := b3 * w4
+		q := v[i : i+4 : i+4]
+		q[0], q[2] = b0+b2, b0-b2
+		q[1], q[3] = b1+t, b1-t
+	}
+	p.tailPasses(v, tw)
+}
+
+// passes runs the butterfly stages over already-permuted data.
+func (p *FFTPlan) passes(v []complex128, tw []complex128) {
+	n := p.n
+	if n == 2 {
+		a, b := v[0], v[1]
+		v[0], v[1] = a+b, a-b
+		return
+	}
+	// The size-2 and size-4 stages touch disjoint 4-sample blocks, so
+	// both run fused in a single pass over the data, skipping the
+	// intermediate stores and reloads. Their only non-trivial twiddle
+	// factor is tw[2] (size-4 stage, k = 1); the others are exactly 1+0i
+	// (the twiddle recurrence starts at 1), so those multiplies are
+	// skipped. Each butterfly still sees the same operands in the same
+	// order, so results stay bit-identical to the staged form.
+	w4 := tw[2]
+	for i := 0; i < n; i += 4 {
+		q := v[i : i+4 : i+4]
+		b0, b1 := q[0]+q[1], q[0]-q[1]
+		b2, b3 := q[2]+q[3], q[2]-q[3]
+		t := b3 * w4
+		q[0], q[2] = b0+b2, b0-b2
+		q[1], q[3] = b1+t, b1-t
+	}
+	p.tailPasses(v, tw)
+}
+
+// tailPasses runs the butterfly stages from size 8 upward; the size-2
+// and size-4 stages must already have been applied by one of the fused
+// entry passes above. Stages are consumed two at a time where possible:
+// within one 2s-sample block, the size-s butterflies of both halves and
+// the size-2s butterflies that consume their outputs touch only that
+// block, so each stage pair runs in a single traversal of the data. A
+// butterfly's operands and operation order are unchanged, so results
+// stay bit-identical to running the stages separately.
+func (p *FFTPlan) tailPasses(v []complex128, tw []complex128) {
+	n := p.n
+	off := 3 // past the twiddle blocks of the size-2 and size-4 stages
+	size := 8
+	for ; 2*size <= n; size <<= 2 {
+		s := size
+		half := s >> 1
+		twS := tw[off : off+half]        // size-s stage twiddles
+		tw2 := tw[off+half : off+half+s] // size-2s stage twiddles
+		for start := 0; start < n; start += 2 * s {
+			q := v[start : start+2*s : start+2*s]
+			// j = 0: twS[0] and tw2[0] are exactly 1+0i, so two of the
+			// three multiplies vanish.
+			a0, a1, a2, a3 := q[0], q[half], q[s], q[s+half]
+			b0, b1 := a0+a1, a0-a1
+			b2, b3 := a2+a3, a2-a3
+			q[0], q[s] = b0+b2, b0-b2
+			t := b3 * tw2[half]
+			q[half], q[s+half] = b1+t, b1-t
+			for j := 1; j < half; j++ {
+				w1 := twS[j]
+				a0, a1, a2, a3 := q[j], q[j+half], q[j+s], q[j+s+half]
+				t1 := a1 * w1
+				b0, b1 := a0+t1, a0-t1
+				t3 := a3 * w1
+				b2, b3 := a2+t3, a2-t3
+				t := b2 * tw2[j]
+				q[j], q[j+s] = b0+t, b0-t
+				t = b3 * tw2[j+half]
+				q[j+half], q[j+s+half] = b1+t, b1-t
+			}
+		}
+		off += half + s
+	}
+	// At most one stage remains (odd tail-stage count): the plain
+	// radix-2 body.
+	for ; size <= n; size <<= 1 {
 		half := size >> 1
 		stage := tw[off : off+half]
 		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				a := v[start+k]
-				b := v[start+k+half] * stage[k]
-				v[start+k] = a + b
-				v[start+k+half] = a - b
+			// Split the block into its two butterfly halves so the inner
+			// loop indexes each slice from 0 and the compiler drops the
+			// per-access bounds checks; the k = 0 butterfly skips its
+			// multiply because stage[0] is exactly 1+0i in every stage
+			// (the twiddle recurrence starts at 1). The operation order
+			// per butterfly is unchanged, so results stay bit-identical.
+			lo := v[start : start+half : start+half]
+			hi := v[start+half : start+size : start+size]
+			a, b := lo[0], hi[0]
+			lo[0], hi[0] = a+b, a-b
+			for k := 1; k < half && k < len(lo) && k < len(hi); k++ {
+				a := lo[k]
+				b := hi[k] * stage[k]
+				lo[k] = a + b
+				hi[k] = a - b
 			}
 		}
 		off += half
@@ -576,10 +760,7 @@ func (b *MatchedFilterBank) FilterInto(dst []complex128, t int) ([]complex128, e
 		}
 	}
 	prod := b.full[:bt.m]
-	for i := range prod {
-		prod[i] = bt.spec[i] * sigSpec[i]
-	}
-	plan.transform(prod, plan.inv)
+	plan.productTransform(prod, bt.spec, sigSpec, plan.inv)
 	Scale(prod, complex(1/float64(bt.m), 0))
 	copy(dst, prod[start:outLen])
 	return dst, nil
@@ -590,6 +771,35 @@ func (b *MatchedFilterBank) FilterInto(dst []complex128, t int) ([]complex128, e
 // FilterPeak never touches bank-owned scratch.
 func (b *MatchedFilterBank) NewScratch() []complex128 {
 	return make([]complex128, len(b.full))
+}
+
+// Clone returns a new bank sharing b's immutable state — the conjugated
+// template taps, their precomputed spectra, and the per-size FFT plans —
+// while owning fresh mutable signal state (per-size signal spectra, the
+// signal copy, the full-convolution scratch) and zeroed execution
+// counters. The clone starts unready: Transform it before filtering.
+//
+// The shared plans are safe because every bank method drives them through
+// plan.transform, which only reads the precomputed swap and twiddle
+// tables; the plan-owned ConvolveWith scratch is never touched by bank
+// code. Any number of clones may therefore run concurrently, one
+// goroutine each — the sharing that lets a batch engine pay the
+// per-template spectrum setup once per CIR length instead of once per
+// worker.
+func (b *MatchedFilterBank) Clone() *MatchedFilterBank {
+	c := &MatchedFilterBank{
+		sigLen: b.sigLen,
+		tmpls:  b.tmpls,
+		sizes:  b.sizes,
+		plans:  b.plans,
+		specs:  make([][]complex128, len(b.specs)),
+		sig:    make([]complex128, len(b.sig)),
+		full:   make([]complex128, len(b.full)),
+	}
+	for i, s := range b.specs {
+		c.specs[i] = make([]complex128, len(s))
+	}
+	return c
 }
 
 // FilterPeak matched-filters template t against the last Transform-ed
@@ -648,10 +858,7 @@ func (b *MatchedFilterBank) FilterPeak(scratch []complex128, t int, skip []SkipI
 			}
 		}
 		prod := scratch[:bt.m]
-		for i := range prod {
-			prod[i] = bt.spec[i] * sigSpec[i]
-		}
-		plan.transform(prod, plan.inv)
+		plan.productTransform(prod, bt.spec, sigSpec, plan.inv)
 		out = prod
 		scale = complex(1/float64(bt.m), 0)
 	}

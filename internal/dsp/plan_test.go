@@ -62,6 +62,56 @@ func TestFFTPlanMatchesFFT(t *testing.T) {
 	}
 }
 
+func TestProductTransformMatchesSeparateSteps(t *testing.T) {
+	// The fused permute-while-multiplying entry must be bit-identical to
+	// filling the product in index order and transforming it, in both
+	// directions — it is the ScanBest hot path.
+	for _, n := range []int{1, 2, 8, 1024} {
+		p, err := NewFFTPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := randComplex(n, uint64(n))
+		b := randComplex(n, uint64(n)+101)
+		for _, tw := range [][]complex128{p.fwd, p.inv} {
+			want := make([]complex128, n)
+			for i := range want {
+				want[i] = a[i] * b[i]
+			}
+			p.transform(want, tw)
+			got := make([]complex128, n)
+			p.productTransform(got, a, b, tw)
+			equalExact(t, got, want, "fused product transform")
+		}
+	}
+}
+
+func TestProductTransformPermutedMatchesNaturalOrder(t *testing.T) {
+	// Pre-permuting both operands (permuteInto) and running the
+	// sequential-load entry must give bit-identical results to the
+	// natural-order fused form — the ScanBest hot path stores spectra
+	// bit-reversed and relies on this.
+	for _, n := range []int{1, 2, 8, 1024} {
+		p, err := NewFFTPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := randComplex(n, uint64(n)+301)
+		b := randComplex(n, uint64(n)+401)
+		for _, tw := range [][]complex128{p.fwd, p.inv} {
+			want := make([]complex128, n)
+			p.productTransform(want, a, b, tw)
+			ar := make([]complex128, n)
+			br := make([]complex128, n)
+			p.permuteInto(ar, a)
+			p.permuteInto(br, b)
+			got := make([]complex128, n)
+			p.productTransformPermuted(got, ar, br, tw)
+			equalExact(t, got, want, "permuted product transform")
+		}
+	}
+}
+
 func TestDFTPlanMatchesFFTAllLengths(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 3, 12, 100, 127, 256, 1016} {
 		p, err := NewDFTPlan(n)

@@ -47,6 +47,7 @@ type SpectralBank struct {
 	m       int
 	plan    *FFTPlan
 	spec    []complex128 // maintained spectrum of the current signal
+	specRev []complex128 // spec in bit-reversed order, kept in step
 	prefix  []complex128 // maintained signal[0:maxTail] for tail correction
 	maxTail int
 	tmpls   []spectralTemplate
@@ -55,10 +56,11 @@ type SpectralBank struct {
 }
 
 type spectralTemplate struct {
-	taps   []complex128 // conjugated time-reversed template
-	spec   []complex128 // FFT_M of zero-padded taps
-	tail   int          // wrapped convolution samples: sigLen+len(taps)-1-m, ≥ 0
-	center int          // (len(template)-1)/2
+	taps    []complex128 // conjugated time-reversed template
+	spec    []complex128 // FFT_M of zero-padded taps
+	specRev []complex128 // spec in bit-reversed order for the scan hot loop
+	tail    int          // wrapped convolution samples: sigLen+len(taps)-1-m, ≥ 0
+	center  int          // (len(template)-1)/2
 }
 
 // NewSpectralBank builds the frequency-domain search state for the given
@@ -77,11 +79,12 @@ func NewSpectralBank(templates [][]complex128, sigLen int) (*SpectralBank, error
 		return nil, err
 	}
 	b := &SpectralBank{
-		sigLen: sigLen,
-		m:      m,
-		plan:   plan,
-		spec:   make([]complex128, m),
-		tmpls:  make([]spectralTemplate, len(templates)),
+		sigLen:  sigLen,
+		m:       m,
+		plan:    plan,
+		spec:    make([]complex128, m),
+		specRev: make([]complex128, m),
+		tmpls:   make([]spectralTemplate, len(templates)),
 	}
 	for i, t := range templates {
 		if len(t) == 0 {
@@ -94,16 +97,19 @@ func NewSpectralBank(templates [][]complex128, sigLen int) (*SpectralBank, error
 		spec := make([]complex128, m)
 		copy(spec, taps)
 		plan.transform(spec, plan.fwd)
+		specRev := make([]complex128, m)
+		plan.permuteInto(specRev, spec)
 		tail := sigLen + len(taps) - 1 - m
 		if tail < 0 {
 			tail = 0
 		}
 		b.maxTail = max(b.maxTail, tail)
 		b.tmpls[i] = spectralTemplate{
-			taps:   taps,
-			spec:   spec,
-			tail:   tail,
-			center: (len(t) - 1) / 2,
+			taps:    taps,
+			spec:    spec,
+			specRev: specRev,
+			tail:    tail,
+			center:  (len(t) - 1) / 2,
 		}
 	}
 	b.prefix = make([]complex128, b.maxTail)
@@ -134,6 +140,27 @@ func (b *SpectralBank) NewScratch() []complex128 {
 	return make([]complex128, b.m+b.maxTail)
 }
 
+// Clone returns a new bank sharing b's immutable state — the template
+// taps and spectra plus the single FFT plan — while owning fresh mutable
+// signal state (the maintained spectrum and tail-correction prefix) and
+// zeroed execution counters. The clone holds no signal: Ingest before
+// scanning. The shared plan is read-only under every bank method (only
+// its swap and twiddle tables are consulted), so clones may run
+// concurrently, one goroutine each, while the O(templates) spectrum
+// setup is paid once and shared.
+func (b *SpectralBank) Clone() *SpectralBank {
+	return &SpectralBank{
+		sigLen:  b.sigLen,
+		m:       b.m,
+		plan:    b.plan,
+		spec:    make([]complex128, b.m),
+		specRev: make([]complex128, b.m),
+		prefix:  make([]complex128, b.maxTail),
+		maxTail: b.maxTail,
+		tmpls:   b.tmpls,
+	}
+}
+
 // Ingest replaces the maintained state with a fresh signal: one forward
 // FFT plus a copy of the tail-correction prefix. Called once per Detect.
 func (b *SpectralBank) Ingest(sig []complex128) error {
@@ -143,6 +170,7 @@ func (b *SpectralBank) Ingest(sig []complex128) error {
 	clear(b.spec)
 	copy(b.spec, sig)
 	b.plan.transform(b.spec, b.plan.fwd)
+	b.plan.permuteInto(b.specRev, b.spec)
 	copy(b.prefix, sig[:b.maxTail])
 	b.ingests.Add(1)
 	return nil
@@ -189,6 +217,7 @@ func (b *SpectralBank) ShiftSubtract(t int, amp complex128, finePos float64, eva
 		spec[f] -= df
 		w *= wBase
 	}
+	b.plan.permuteInto(b.specRev, spec)
 	if eval != nil {
 		for x := range b.prefix {
 			b.prefix[x] -= eval(x)
@@ -223,10 +252,7 @@ func (b *SpectralBank) ScanBest(scratch []complex128, t int, skip []SkipInterval
 	b.scans.Add(1)
 	st := b.tmpls[t]
 	prod := scratch[:b.m]
-	for f := range prod {
-		prod[f] = st.spec[f] * b.spec[f]
-	}
-	b.plan.transform(prod, b.plan.inv)
+	b.plan.productTransformPermuted(prod, st.specRev, b.specRev, b.plan.inv)
 	scale := complex(1/float64(b.m), 0)
 	// Linear-convolution prefix for the wrapped tail: full[j] for
 	// j < tail only involves taps[0..j] and signal[0..j], both ≤ prefix.
@@ -241,21 +267,47 @@ func (b *SpectralBank) ScanBest(scratch []complex128, t int, skip []SkipInterval
 	start := len(st.taps) - 1
 	wrapFrom := b.m - start // first output index whose sample wrapped
 	bestIdx, bestSq := -1, 0.0
-	si := 0
-	for i := 0; i < b.sigLen; i++ {
-		for si < len(skip) && skip[si].Hi < i {
-			si++
+	// Visit the gaps between skip intervals in ascending index order —
+	// the same samples, in the same order, as a per-sample skip test —
+	// with each gap split at wrapFrom so the unwrapped stretch runs
+	// without the tail-correction branch. sampleAt stays the per-sample
+	// reference (the y3 reads below use it); the unwrapped loop scales
+	// the components directly (scale is real), which can only flip the
+	// sign of a zero component — squaring erases that, so the compared
+	// sq is bit-identical to sampleAt's.
+	s := real(scale)
+	scanGap := func(from, to int) {
+		if from < 0 {
+			from = 0
 		}
-		if si < len(skip) && skip[si].Lo <= i {
-			i = skip[si].Hi // loop increment moves past the interval
-			continue
+		if to > b.sigLen {
+			to = b.sigLen
 		}
-		v := b.sampleAt(prod, fp, scale, start, wrapFrom, i)
-		sq := real(v)*real(v) + imag(v)*imag(v)
-		if sq > bestSq {
-			bestIdx, bestSq = i, sq
+		for i := from; i < to && i < wrapFrom; i++ {
+			p := prod[start+i]
+			re, im := real(p)*s, imag(p)*s
+			sq := re*re + im*im
+			if sq > bestSq {
+				bestIdx, bestSq = i, sq
+			}
+		}
+		for i := max(from, wrapFrom); i < to; i++ {
+			j := start + i - b.m
+			v := prod[j]*scale - fp[j]
+			sq := real(v)*real(v) + imag(v)*imag(v)
+			if sq > bestSq {
+				bestIdx, bestSq = i, sq
+			}
 		}
 	}
+	next := 0
+	for _, iv := range skip {
+		scanGap(next, iv.Lo)
+		if iv.Hi+1 > next {
+			next = iv.Hi + 1
+		}
+	}
+	scanGap(next, b.sigLen)
 	if bestIdx < 0 {
 		return -1, 0, y3, nil
 	}

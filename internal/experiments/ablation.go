@@ -38,6 +38,7 @@ func AblationUpsample(trials int, seed uint64) (*AblationUpsampleResult, error) 
 	}
 	shape := bank.Shape(0)
 	m := newMeter(len(factors) * trials)
+	defer m.finish()
 	for _, factor := range factors {
 		det, err := core.NewDetector(bank, core.DetectorConfig{Upsample: factor})
 		if err != nil {

@@ -38,6 +38,7 @@ func Campaign(sizes []int, seed uint64) (*CampaignResult, error) {
 	// Each network size runs two full campaigns (scheduled + concurrent);
 	// meter them as campaign units so progress still moves.
 	m := newMeter(2 * len(sizes))
+	defer m.finish()
 	for _, n := range sizes {
 		build := func(s uint64) (*sim.Network, []*sim.Node, error) {
 			net, err := sim.NewNetwork(sim.NetworkConfig{

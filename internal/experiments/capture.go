@@ -44,6 +44,7 @@ func Capture(trials int, seed uint64) (*CaptureResult, error) {
 	res := &CaptureResult{Responders: counts, Trials: trials}
 	model := sim.DefaultCaptureModel()
 	m := newMeter(len(counts) * 2 * trials)
+	defer m.finish()
 	for _, n := range counts {
 		for _, equal := range []bool{false, true} {
 			var ok dsp.Counter

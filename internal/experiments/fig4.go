@@ -80,6 +80,7 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 	found := make([]dsp.Counter, len(cfg.Distances))
 
 	m := newMeter(cfg.Trials)
+	defer m.finish()
 	for trial := 0; trial < cfg.Trials; trial++ {
 		t0 := wallNow()
 		net, err := sim.NewNetwork(sim.NetworkConfig{

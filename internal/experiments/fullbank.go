@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"runtime"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/core"
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
@@ -27,17 +26,24 @@ type FullBankConfig struct {
 // fast path on the largest supported template bank — all
 // pulse.NumShapes (108) DW1000 test-register shapes, the regime Sect. VII
 // targets where every responder needs a distinguishable pulse shape. Both
-// paths process identical CIRs; the result records wall time per path and
-// whether they agree on the decoded responses.
+// paths process identical CIRs through the batch engine; the result
+// records wall time per path and whether they agree on the decoded
+// responses. A second phase measures campaign throughput on a
+// single-responder identification stream (the Sect. V workload) through
+// three execution disciplines: a call-at-a-time loop that builds a
+// detector per call (the unshared pre-engine shape the future crservd
+// daemon must avoid), a warm loop reusing one detector, and the batch
+// engine. The batch results are verified bit-identical to the warm loop's
+// before any number is reported.
 type FullBankResult struct {
 	// Trials is the number of CIRs processed per path.
 	Trials int
 	// Templates is the bank size (pulse.NumShapes).
 	Templates int
-	// Workers is the parallelism available to the template fan-out
-	// (GOMAXPROCS at run time).
+	// Workers is the batch engine's worker-pool size (GOMAXPROCS at run
+	// time).
 	Workers int
-	// ReferenceSeconds and SpectralSeconds are the total Detect wall
+	// ReferenceSeconds and SpectralSeconds are the total DetectBatch wall
 	// times per path.
 	ReferenceSeconds, SpectralSeconds float64
 	// Speedup is ReferenceSeconds / SpectralSeconds.
@@ -55,6 +61,17 @@ type FullBankResult struct {
 	// MaxDelayDiff is the largest per-response delay difference between
 	// the paths across agreeing responses, seconds.
 	MaxDelayDiff float64
+	// IDCIRs is the identification-stream length (single-responder CIRs)
+	// each throughput discipline processes.
+	IDCIRs int
+	// CallPerSec, WarmPerSec, and BatchPerSec are identification-stream
+	// throughputs in CIRs/second: the call-at-a-time loop pays
+	// NewDetector (plans + 108 template spectra) on every call, the warm
+	// loop reuses one detector, and the batch engine shares per-length
+	// setup across its worker pool.
+	CallPerSec, WarmPerSec, BatchPerSec float64
+	// BatchSpeedup is BatchPerSec / CallPerSec.
+	BatchSpeedup float64
 }
 
 // fullBankTrain renders overlapping responses with distinct shapes plus
@@ -80,6 +97,19 @@ func fullBankTrain(bank *pulse.Bank, seed uint64, responders int) ([]complex128,
 	return taps, noise
 }
 
+// fullBankBatch runs one timed DetectBatch and surfaces per-item errors.
+func fullBankBatch(eng *core.BatchDetector, label string, inputs []core.BatchInput) ([]core.BatchResult, float64, error) {
+	t0 := wallNow()
+	res := eng.DetectBatch(inputs)
+	secs := wallSince(t0).Seconds()
+	for i := range res {
+		if res[i].Err != nil {
+			return nil, 0, fmt.Errorf("trial %d (%s): %w", i, label, res[i].Err)
+		}
+	}
+	return res, secs, nil
+}
+
 // FullBank runs the comparison.
 func FullBank(cfg FullBankConfig) (*FullBankResult, error) {
 	if cfg.Trials == 0 {
@@ -92,68 +122,170 @@ func FullBank(cfg FullBankConfig) (*FullBankResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Identification-stream sizing: twice the comparison trials for a
+	// stable rate, and a small sample of the (much slower) call-at-a-time
+	// loop — its per-call cost has no per-item variance worth averaging.
+	idCIRs := 2 * cfg.Trials
+	callCIRs := max(3, cfg.Trials/5)
+	const warmup = 2
+
 	dcfg := core.DetectorConfig{MaxResponses: cfg.Responders}
 	dcfg.Mode = core.ModeReference
-	ref, err := core.NewDetector(bank, dcfg)
+	refEng, err := core.NewBatchDetector(bank, dcfg, 0)
 	if err != nil {
 		return nil, err
 	}
+	defer refEng.Close()
 	dcfg.Mode = core.ModeSpectral
-	fast, err := core.NewDetector(bank, dcfg)
+	fastEng, err := core.NewBatchDetector(bank, dcfg, 0)
 	if err != nil {
 		return nil, err
 	}
-	instrumentDetector(ref)
-	instrumentDetector(fast)
+	defer fastEng.Close()
+	idCfg := core.DetectorConfig{MaxResponses: 1}
+	idEng, err := core.NewBatchDetector(bank, idCfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer idEng.Close()
+
+	m := newMeter(2*cfg.Trials + callCIRs + 2*idCIRs + warmup)
+	defer m.finish()
+	instrumentBatch(refEng, m)
+	instrumentBatch(fastEng, m)
+	instrumentBatch(idEng, m)
 
 	res := &FullBankResult{
 		Trials:    cfg.Trials,
 		Templates: bank.Len(),
-		Workers:   runtime.GOMAXPROCS(0),
+		Workers:   idEng.Workers(),
+		IDCIRs:    idCIRs,
 	}
-	m := newMeter(cfg.Trials)
-	for trial := 0; trial < cfg.Trials; trial++ {
-		err := m.timeTrial(func() error {
-			taps, noise := fullBankTrain(bank, cfg.Seed+uint64(trial)*9241, cfg.Responders)
-			t0 := wallNow()
-			want, err := ref.Detect(taps, noise)
-			if err != nil {
-				return err
-			}
-			t1 := wallNow()
-			got, err := fast.Detect(taps, noise)
-			if err != nil {
-				return err
-			}
-			res.ReferenceSeconds += t1.Sub(t0).Seconds()
-			res.SpectralSeconds += wallSince(t1).Seconds()
 
-			agree := len(got) == len(want)
-			for i := 0; agree && i < len(want); i++ {
-				d := math.Abs(got[i].Delay - want[i].Delay)
-				gm := math.Hypot(real(got[i].Amplitude), imag(got[i].Amplitude))
-				wm := math.Hypot(real(want[i].Amplitude), imag(want[i].Amplitude))
-				agree = d <= dw1000.SampleInterval/2 && math.Abs(gm-wm) <= 0.02*wm
-				if agree {
-					res.Responses++
-					res.MaxDelayDiff = math.Max(res.MaxDelayDiff, d)
-					if got[i].TemplateIndex == want[i].TemplateIndex {
-						res.TemplateMatches++
-					}
+	// Phase 1: reference vs spectral on identical multi-responder CIRs.
+	inputs := make([]core.BatchInput, cfg.Trials)
+	for trial := range inputs {
+		inputs[trial].Taps, inputs[trial].NoiseRMS =
+			fullBankTrain(bank, cfg.Seed+uint64(trial)*9241, cfg.Responders)
+	}
+	refRes, refSecs, err := fullBankBatch(refEng, "reference", inputs)
+	if err != nil {
+		return nil, err
+	}
+	fastRes, fastSecs, err := fullBankBatch(fastEng, "spectral", inputs)
+	if err != nil {
+		return nil, err
+	}
+	res.ReferenceSeconds, res.SpectralSeconds = refSecs, fastSecs
+	for trial := range inputs {
+		want, got := refRes[trial].Responses, fastRes[trial].Responses
+		agree := len(got) == len(want)
+		for i := 0; agree && i < len(want); i++ {
+			d := math.Abs(got[i].Delay - want[i].Delay)
+			gm := math.Hypot(real(got[i].Amplitude), imag(got[i].Amplitude))
+			wm := math.Hypot(real(want[i].Amplitude), imag(want[i].Amplitude))
+			agree = d <= dw1000.SampleInterval/2 && math.Abs(gm-wm) <= 0.02*wm
+			if agree {
+				res.Responses++
+				res.MaxDelayDiff = math.Max(res.MaxDelayDiff, d)
+				if got[i].TemplateIndex == want[i].TemplateIndex {
+					res.TemplateMatches++
 				}
 			}
-			if agree {
-				res.Agree++
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
+		}
+		if agree {
+			res.Agree++
 		}
 	}
 	if res.SpectralSeconds > 0 {
 		res.Speedup = res.ReferenceSeconds / res.SpectralSeconds
 	}
+
+	// Phase 2: identification-stream throughput. Single-responder CIRs,
+	// MaxResponses 1 — the Sect. V workload of identifying which responder
+	// answered, where a deployment processes CIRs by the thousand.
+	idInputs := make([]core.BatchInput, idCIRs)
+	for i := range idInputs {
+		idInputs[i].Taps, idInputs[i].NoiseRMS =
+			fullBankTrain(bank, cfg.Seed+500009+uint64(i)*9241, 1)
+	}
+
+	// Discipline A: call-at-a-time — a fresh detector per CIR, the cost
+	// profile of serving detections with no shared state.
+	callStart := wallNow()
+	for i := 0; i < callCIRs; i++ {
+		err := m.timeTrial(func() error {
+			det, err := core.NewDetector(bank, idCfg)
+			if err != nil {
+				return err
+			}
+			instrumentDetector(det)
+			_, err = det.Detect(idInputs[i].Taps, idInputs[i].NoiseRMS)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("call-at-a-time CIR %d: %w", i, err)
+		}
+	}
+	callSecs := wallSince(callStart).Seconds()
+
+	// Discipline B: warm loop — one detector reused across the stream.
+	// Its results double as the ground truth for the batch path.
+	warmDet, err := core.NewDetector(bank, idCfg)
+	if err != nil {
+		return nil, err
+	}
+	instrumentDetector(warmDet)
+	warmResults := make([][]core.Response, idCIRs)
+	warmStart := wallNow()
+	for i := range idInputs {
+		err := m.timeTrial(func() error {
+			out, derr := warmDet.Detect(idInputs[i].Taps, idInputs[i].NoiseRMS)
+			warmResults[i] = out
+			return derr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("warm-loop CIR %d: %w", i, err)
+		}
+	}
+	warmSecs := wallSince(warmStart).Seconds()
+
+	// Discipline C: the batch engine, after an untimed warmup batch that
+	// builds its per-worker detectors.
+	if _, _, err := fullBankBatch(idEng, "batch warmup", idInputs[:warmup]); err != nil {
+		return nil, err
+	}
+	batchRes, batchSecs, err := fullBankBatch(idEng, "batch", idInputs)
+	if err != nil {
+		return nil, err
+	}
+	// The acceptance contract: batch results are bit-identical to the
+	// sequential per-CIR loop, verified on every recorded run.
+	for i := range idInputs {
+		got, want := batchRes[i].Responses, warmResults[i]
+		if len(got) != len(want) {
+			return nil, fmt.Errorf("batch CIR %d: %d responses, warm loop found %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				return nil, fmt.Errorf("batch CIR %d response %d: %+v differs from warm loop's %+v",
+					i, k, got[k], want[k])
+			}
+		}
+	}
+	if callSecs > 0 {
+		res.CallPerSec = float64(callCIRs) / callSecs
+	}
+	if warmSecs > 0 {
+		res.WarmPerSec = float64(idCIRs) / warmSecs
+	}
+	if batchSecs > 0 {
+		res.BatchPerSec = float64(idCIRs) / batchSecs
+	}
+	if res.CallPerSec > 0 {
+		res.BatchSpeedup = res.BatchPerSec / res.CallPerSec
+	}
+	addBatchThroughput(idCIRs, batchSecs)
 	return res, nil
 }
 
@@ -170,7 +302,18 @@ func (r *FullBankResult) Render() string {
 				fmt.Sprintf("%.1f ms", 1e3*r.SpectralSeconds/float64(r.Trials))},
 		},
 	}
+	id := &Table{
+		Title:  fmt.Sprintf("Identification-stream throughput (%d single-responder CIRs, MaxResponses 1)", r.IDCIRs),
+		Header: []string{"discipline", "CIRs/s"},
+		Rows: [][]string{
+			{"call-at-a-time (detector built per call)", fmt.Sprintf("%.1f", r.CallPerSec)},
+			{"warm loop (one detector reused)", fmt.Sprintf("%.1f", r.WarmPerSec)},
+			{fmt.Sprintf("batch engine (%d workers, shared plans)", r.Workers), fmt.Sprintf("%.1f", r.BatchPerSec)},
+		},
+	}
 	return t.String() + fmt.Sprintf(
 		"speedup %.2f×; %d/%d trials equivalent (max delay diff %.3g ps); same template on %d/%d responses\n",
-		r.Speedup, r.Agree, r.Trials, r.MaxDelayDiff*1e12, r.TemplateMatches, r.Responses)
+		r.Speedup, r.Agree, r.Trials, r.MaxDelayDiff*1e12, r.TemplateMatches, r.Responses) +
+		id.String() + fmt.Sprintf("batch engine speedup over call-at-a-time: %.2f× (batch results bit-identical to the sequential loop)\n",
+		r.BatchSpeedup)
 }

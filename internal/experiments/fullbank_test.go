@@ -25,6 +25,20 @@ func TestFullBankAgreement(t *testing.T) {
 	if r.Speedup <= 1 {
 		t.Errorf("spectral path slower than reference: speedup %.2f", r.Speedup)
 	}
+	// The identification-throughput phase must have run and produced
+	// positive rates; the ≥5× acceptance gate itself lives in the
+	// reportcheck comparison against BENCH_4.json, not in this (noisy,
+	// 4-trial) unit test.
+	if r.IDCIRs != 2*r.Trials {
+		t.Errorf("IDCIRs = %d, want %d", r.IDCIRs, 2*r.Trials)
+	}
+	if r.CallPerSec <= 0 || r.WarmPerSec <= 0 || r.BatchPerSec <= 0 {
+		t.Errorf("non-positive throughput: call %.1f warm %.1f batch %.1f",
+			r.CallPerSec, r.WarmPerSec, r.BatchPerSec)
+	}
+	if r.BatchSpeedup <= 0 {
+		t.Errorf("BatchSpeedup = %.2f, want > 0", r.BatchSpeedup)
+	}
 	if r.Render() == "" {
 		t.Error("empty render")
 	}

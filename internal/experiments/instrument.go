@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,6 +106,52 @@ func instrumentNetwork(net *sim.Network) *sim.Network {
 	return net
 }
 
+// instrumentBatch attaches the installed recorder and flight recorder (if
+// any) to a freshly built batch engine and wires its per-item progress
+// into the campaign meter, so batch-path experiments report the same
+// metrics/progress stream as loop-path ones.
+func instrumentBatch(bd *core.BatchDetector, m *meter) *core.BatchDetector {
+	if rec := recorder(); rec != nil {
+		bd.SetRecorder(rec)
+	}
+	if tr := flight(); tr != nil {
+		bd.SetFlightRecorder(tr)
+	}
+	if m != nil {
+		bd.SetProgress(func(int) { m.trialDone(0) })
+	}
+	return bd
+}
+
+// batchTally accumulates the batch-path throughput measured by the most
+// recent experiment, for crbench to surface as the per-experiment
+// cirs_per_second report field. The numbers are wall-derived, so the
+// resulting field is a wall-time-class field StripWallTime zeroes.
+var batchTally struct {
+	mu      sync.Mutex
+	cirs    int
+	seconds float64
+}
+
+// addBatchThroughput adds one timed batch run to the tally.
+func addBatchThroughput(cirs int, seconds float64) {
+	batchTally.mu.Lock()
+	batchTally.cirs += cirs
+	batchTally.seconds += seconds
+	batchTally.mu.Unlock()
+}
+
+// TakeBatchThroughput returns the accumulated batch throughput sample
+// (CIRs processed and wall seconds spent) and resets the tally, so a
+// harness can attribute it to the experiment that just ran.
+func TakeBatchThroughput() (cirs int, seconds float64) {
+	batchTally.mu.Lock()
+	cirs, seconds = batchTally.cirs, batchTally.seconds
+	batchTally.cirs, batchTally.seconds = 0, 0
+	batchTally.mu.Unlock()
+	return cirs, seconds
+}
+
 // wallNow is this package's single sanctioned wall-clock read. Every
 // duration derived from it flows into progress callbacks or a *_seconds
 // field/metric, all of which StripWallTime removes from run reports, so
@@ -125,6 +172,7 @@ func wallSince(t0 time.Time) time.Duration {
 type meter struct {
 	total    int
 	done     atomic.Int64
+	terminal atomic.Bool // a Progress{Done: Total} update has been pushed
 	start    time.Time
 	progress ProgressFunc
 	rec      obs.Recorder
@@ -154,12 +202,35 @@ func (m *meter) trialDone(d time.Duration) {
 	if m.progress == nil {
 		return
 	}
+	// Multi-phase campaigns can tick a meter past its planned total (the
+	// phases share one meter); clamp so Done never overshoots Total and the
+	// estimate reads "finished" instead of silently pinning to a
+	// meaningless zero next to an impossible count.
+	if done > m.total {
+		done = m.total
+	}
+	if done >= m.total {
+		m.terminal.Store(true)
+	}
 	elapsed := wallSince(m.start)
 	var remaining time.Duration
 	if done > 0 && done < m.total {
 		remaining = time.Duration(float64(elapsed) / float64(done) * float64(m.total-done))
 	}
 	m.progress(Progress{Done: done, Total: m.total, Elapsed: elapsed, Remaining: remaining})
+}
+
+// finish pushes the terminal Progress{Done: Total} update if no trial tick
+// ever did: a zero-trial campaign never ticks at all, and a campaign can
+// end short of its planned total. Idempotent; a nil meter does nothing.
+func (m *meter) finish() {
+	if m == nil || m.progress == nil {
+		return
+	}
+	if m.terminal.Swap(true) {
+		return
+	}
+	m.progress(Progress{Done: m.total, Total: m.total, Elapsed: wallSince(m.start)})
 }
 
 // timeTrial runs one trial body under the meter's clock.

@@ -81,6 +81,68 @@ func TestMeterRecordsTrialsAndProgress(t *testing.T) {
 	}
 }
 
+func TestMeterClampAndTerminalUpdate(t *testing.T) {
+	cases := []struct {
+		name   string
+		total  int
+		ticks  int
+		finish bool
+		// wantFinal is the expected last update; wantCount the update count.
+		wantFinal Progress
+		wantCount int
+	}{
+		{
+			name: "overticked meter clamps to total", total: 2, ticks: 4, finish: false,
+			wantFinal: Progress{Done: 2, Total: 2}, wantCount: 4,
+		},
+		{
+			name: "zero-trial campaign emits terminal update on finish", total: 0, ticks: 0, finish: true,
+			wantFinal: Progress{Done: 0, Total: 0}, wantCount: 1,
+		},
+		{
+			name: "finish after completion does not duplicate", total: 3, ticks: 3, finish: true,
+			wantFinal: Progress{Done: 3, Total: 3}, wantCount: 3,
+		},
+		{
+			name: "finish on a short campaign emits Done=Total", total: 5, ticks: 2, finish: true,
+			wantFinal: Progress{Done: 5, Total: 5}, wantCount: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var updates []Progress
+			m := &meter{total: tc.total, start: wallNow(), progress: func(p Progress) {
+				updates = append(updates, p)
+			}}
+			for i := 0; i < tc.ticks; i++ {
+				m.trialDone(0)
+			}
+			if tc.finish {
+				m.finish()
+			}
+			if len(updates) != tc.wantCount {
+				t.Fatalf("%d updates, want %d: %+v", len(updates), tc.wantCount, updates)
+			}
+			for _, p := range updates {
+				if p.Done > p.Total {
+					t.Fatalf("update overshoots total: %+v", p)
+				}
+				if p.Remaining < 0 {
+					t.Fatalf("negative ETA: %+v", p)
+				}
+			}
+			last := updates[len(updates)-1]
+			if last.Done != tc.wantFinal.Done || last.Total != tc.wantFinal.Total || last.Remaining != 0 {
+				t.Fatalf("final update %+v, want Done=%d Total=%d Remaining=0",
+					last, tc.wantFinal.Done, tc.wantFinal.Total)
+			}
+		})
+	}
+	// finish is nil-safe like every other meter method.
+	var nilMeter *meter
+	nilMeter.finish()
+}
+
 func TestInstrumentedExperimentsRecord(t *testing.T) {
 	// A tiny Sec5 + Campaign run — the crbench smoke pair — must populate
 	// trial timing and simulator counters through the ambient recorder.

@@ -1,14 +1,16 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 )
 
 // parallelMap runs fn for every index in [0, n) across a bounded worker
-// pool and returns the results in index order. The first error (by trial
-// index, not completion order) is reported after all workers finish,
+// pool and returns the results in index order. Every trial error (not
+// just the first) is reported after all workers finish, joined in trial
+// index order — the message leads with the lowest failing index — each
 // wrapped as "trial %d: ...", keeping the result slice deterministic. A
 // panicking trial is recovered into an error instead of killing the
 // process. Every trial must derive its randomness from its index — never
@@ -69,10 +71,17 @@ func parallelMapWith[S, T any](n int, newWorker func() (S, error), fn func(s S, 
 	}
 	close(next)
 	wg.Wait()
+	m.finish()
+	// Join every failure in index order so no trial error is masked;
+	// errors.Is still matches each underlying cause.
+	var failures []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("trial %d: %w", i, err)
+			failures = append(failures, fmt.Errorf("trial %d: %w", i, err))
 		}
+	}
+	if len(failures) > 0 {
+		return nil, errors.Join(failures...)
 	}
 	return results, nil
 }

@@ -39,6 +39,38 @@ func TestParallelMapWrapsErrorWithTrialIndex(t *testing.T) {
 	}
 }
 
+func TestParallelMapJoinsAllErrors(t *testing.T) {
+	errA, errB := errors.New("first failure"), errors.New("second failure")
+	_, err := parallelMap(40, func(i int) (int, error) {
+		switch i {
+		case 12:
+			return 0, errA
+		case 29:
+			return 0, errB
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("errors swallowed")
+	}
+	// Every failure survives the join, matchable by errors.Is.
+	if !errors.Is(err, errA) {
+		t.Fatalf("first cause lost: %v", err)
+	}
+	if !errors.Is(err, errB) {
+		t.Fatalf("second cause masked: %v", err)
+	}
+	// The message lists failures in trial-index order, lowest first.
+	msg := err.Error()
+	at12, at29 := strings.Index(msg, "trial 12:"), strings.Index(msg, "trial 29:")
+	if at12 < 0 || at29 < 0 {
+		t.Fatalf("error %q does not name both trials", msg)
+	}
+	if at12 > at29 {
+		t.Fatalf("error %q not led by the lowest trial index", msg)
+	}
+}
+
 func TestParallelMapRecoversPanic(t *testing.T) {
 	_, err := parallelMap(20, func(i int) (int, error) {
 		if i == 5 {

@@ -50,6 +50,7 @@ func Sec5(cfg Sec5Config) (*Sec5Result, error) {
 	regs := []byte{pulse.RegisterS1, pulse.RegisterS2, pulse.RegisterS3}
 	res := &Sec5Result{Registers: regs, Trials: cfg.Trials}
 	m := newMeter(len(regs) * cfg.Trials)
+	defer m.finish()
 	for i, reg := range regs {
 		net, err := sim.NewNetwork(sim.NetworkConfig{
 			Environment: channel.Office(),

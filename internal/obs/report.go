@@ -58,6 +58,10 @@ type ExperimentReport struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// OutputBytes sizes the rendered table/figure text.
 	OutputBytes int `json:"output_bytes"`
+	// CIRsPerSecond is the batch-detection throughput measured by the
+	// experiment, when it ran one (wall-time-class field; 0 = not
+	// measured). reportcheck -compare gates on it like wall time.
+	CIRsPerSecond float64 `json:"cirs_per_second,omitempty"`
 }
 
 // RuntimeStats is a small, stable subset of runtime.MemStats.
@@ -119,6 +123,7 @@ func (r *RunReport) StripWallTime() *RunReport {
 	out.Experiments = make([]ExperimentReport, len(r.Experiments))
 	for i, e := range r.Experiments {
 		e.WallSeconds = 0
+		e.CIRsPerSecond = 0
 		out.Experiments[i] = e
 	}
 	m := Snapshot{}

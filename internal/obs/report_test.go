@@ -14,7 +14,7 @@ func sampleReport() *RunReport {
 	reg.Observe("experiments.trial_seconds", 0.12) // wall-time metric
 	r := NewRunReport("crbench", 1, 5)
 	r.Experiments = append(r.Experiments, ExperimentReport{
-		Name: "sec5", WallSeconds: 1.5, OutputBytes: 100,
+		Name: "sec5", WallSeconds: 1.5, OutputBytes: 100, CIRsPerSecond: 42.5,
 	})
 	r.Finish(reg.Snapshot(), 2*time.Second)
 	return r
@@ -67,8 +67,8 @@ func TestStripWallTime(t *testing.T) {
 	if s.StartTime != "" || s.WallSeconds != 0 || s.Runtime != (RuntimeStats{}) {
 		t.Fatalf("wall fields survive: %+v", s)
 	}
-	if s.Experiments[0].WallSeconds != 0 {
-		t.Fatalf("experiment wall time survives: %+v", s.Experiments[0])
+	if s.Experiments[0].WallSeconds != 0 || s.Experiments[0].CIRsPerSecond != 0 {
+		t.Fatalf("experiment wall-time fields survive: %+v", s.Experiments[0])
 	}
 	if _, ok := s.Metrics.HistogramByName("experiments.trial_seconds"); ok {
 		t.Fatal("wall-time metric survives the strip")
