@@ -82,7 +82,7 @@ repro:
 # trace.
 smoke:
 	$(GO) run ./cmd/crbench -trials 3 -json results/smoke-report.json -tracefile results/smoke-trace.jsonl sec5 campaign
-	$(GO) run ./cmd/reportcheck results/smoke-report.json
+	$(GO) run ./cmd/reportcheck -require-metrics detector.,sim.,experiments.,trace. results/smoke-report.json
 	$(GO) run ./cmd/crtrace results/smoke-trace.jsonl
 
 fuzz:

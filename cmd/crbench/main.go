@@ -16,13 +16,19 @@
 //
 //   - -json path writes a machine-readable run report: per-experiment wall
 //     time and output size, the full metrics snapshot (detector diagnostics,
-//     simulator frame/collision counters, per-trial timing histograms), and
+//     simulator frame/collision counters, per-trial timing histograms,
+//     labeled per-experiment/worker series, windowed throughput rings), and
 //     Go runtime stats. The report is deterministic for a fixed seed and
-//     trial count once wall-time fields are stripped.
+//     trial count once wall-time fields are stripped. -json - writes the
+//     report to stdout and moves the rendered tables to stderr, so piped
+//     consumers see exactly one JSON document (progress always goes to
+//     stderr).
 //   - -progress streams live trial progress (done/total, ETA) to stderr.
-//   - -pprof addr serves net/http/pprof and expvar (/debug/vars exposes the
-//     metrics registry as "crmetrics") on the given address for the run's
-//     duration; use addr "localhost:0" for an ephemeral port.
+//   - -pprof addr serves the debug surface on the given address for the
+//     run's duration: net/http/pprof, expvar (/debug/vars exposes the
+//     metrics registry as "crmetrics"), Prometheus text exposition on
+//     /metrics, and the live JSON snapshot on /debug/metrics.json (poll it
+//     with crtop). Use addr "localhost:0" for an ephemeral port.
 //   - -tracefile path streams the detection flight recorder to a JSONL
 //     trace: campaign/round spans with ground truth plus one structured
 //     event per detector search-and-subtract iteration. -trace-sample N
@@ -39,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/uwb-sim/concurrent-ranging/internal/core"
 	"github.com/uwb-sim/concurrent-ranging/internal/experiments"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
@@ -258,12 +265,24 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 	}
 
 	reg := obs.NewRegistry()
+	// Window rings behind the live-rate and moving-quantile views (crtop,
+	// the report's final throughput series): campaign trial rate, batch
+	// CIR throughput, detect-call rate, and the trial-latency quantiles.
+	for _, name := range []string{
+		experiments.MetricTrials,
+		core.MetricBatchCIRs,
+		core.MetricDetectCalls,
+		experiments.MetricTrialSeconds,
+	} {
+		reg.Watch(name, obs.WindowConfig{})
+	}
 	if cfg.PprofAddr != "" {
-		addr, err := obs.ServeDebug(cfg.PprofAddr, reg)
+		dbg, err := obs.ServeDebug(cfg.PprofAddr, reg)
 		if err != nil {
 			return nil, fmt.Errorf("pprof: %w", err)
 		}
-		fmt.Fprintf(cfg.Stderr, "crbench: debug server on http://%s/debug/pprof/\n", addr)
+		defer dbg.Close()
+		fmt.Fprintf(cfg.Stderr, "crbench: debug server on http://%s/debug/pprof/ (/metrics, /debug/metrics.json)\n", dbg.Addr)
 	}
 	var flight *trace.Tracer
 	if cfg.TraceFile != "" {
@@ -272,6 +291,7 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 			return nil, fmt.Errorf("tracefile: %w", ferr)
 		}
 		flight = trace.New(trace.Config{Writer: f, SampleEvery: cfg.TraceSample})
+		flight.SetMetrics(reg)
 		defer func() {
 			ferr := flight.Flush()
 			if cerr := f.Close(); ferr == nil {
@@ -293,13 +313,22 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 	})
 	defer experiments.SetInstrumentation(nil)
 
+	// -json - dedicates stdout to the report alone; the rendered tables
+	// move to stderr so piped consumers parse exactly one JSON document.
+	tableW := cfg.Stdout
+	if cfg.JSONPath == "-" {
+		tableW = cfg.Stderr
+	}
+
 	report = obs.NewRunReport("crbench", cfg.Seed, cfg.Trials)
 	experiments.TakeBatchThroughput() // discard any stale tally
 	start := time.Now()
 	for i, name := range names {
 		printer.setLabel(name)
+		experiments.SetActiveExperiment(strings.ToLower(name))
 		t0 := time.Now()
 		out, err := selected[i](cfg.Trials, cfg.Seed)
+		experiments.SetActiveExperiment("")
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -313,14 +342,20 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 			er.CIRsPerSecond = float64(cirs) / secs
 		}
 		report.Experiments = append(report.Experiments, er)
-		fmt.Fprint(cfg.Stdout, out)
-		fmt.Fprintln(cfg.Stdout)
+		fmt.Fprint(tableW, out)
+		fmt.Fprintln(tableW)
 	}
 	report.Finish(reg.Snapshot(), time.Since(start))
 	if err := report.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.JSONPath != "" {
+	switch cfg.JSONPath {
+	case "":
+	case "-":
+		if err := report.Encode(cfg.Stdout); err != nil {
+			return nil, fmt.Errorf("writing report: %w", err)
+		}
+	default:
 		if err := report.WriteFile(cfg.JSONPath); err != nil {
 			return nil, fmt.Errorf("writing report: %w", err)
 		}

@@ -113,6 +113,37 @@ func TestReportDeterministicModuloWallTime(t *testing.T) {
 	}
 }
 
+func TestJSONStdoutModeKeepsStdoutPure(t *testing.T) {
+	// With -json - the report owns stdout: tables and progress all go to
+	// stderr, and stdout must parse as exactly one JSON report so
+	// `crbench -json - | reportcheck -` works.
+	var stdout, stderr bytes.Buffer
+	cfg := runConfig{Trials: 2, Seed: 1, JSONPath: "-", Progress: true,
+		Stdout: &stdout, Stderr: &stderr}
+	if _, err := run([]string{"sec5", "campaign"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(stdout.Bytes()))
+	var report obs.RunReport
+	if err := dec.Decode(&report); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout.String())
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		t.Fatalf("stdout carries more than the report (next decode: %v):\n%s", err, stdout.String())
+	}
+
+	// The human-facing output still exists — on stderr.
+	errOut := stderr.String()
+	if !strings.Contains(errOut, "sec5") || !strings.Contains(errOut, "trials") {
+		t.Fatalf("stderr lost the tables/progress stream: %q", errOut)
+	}
+}
+
 func TestProgressPrinterWritesToSink(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := testConfig(4, 1)

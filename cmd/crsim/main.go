@@ -164,11 +164,12 @@ func run() (err error) {
 	if *pprofAddr != "" {
 		reg := obs.NewRegistry()
 		session.SetRecorder(reg)
-		addr, err := obs.ServeDebug(*pprofAddr, reg)
+		dbg, err := obs.ServeDebug(*pprofAddr, reg)
 		if err != nil {
 			return fmt.Errorf("pprof: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "crsim: debug server on http://%s/debug/pprof/\n", addr)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "crsim: debug server on http://%s/debug/pprof/ (/metrics, /debug/metrics.json)\n", dbg.Addr)
 	}
 	fmt.Printf("%d responders, scheme capacity %d, Δ_RESP %.0f µs\n",
 		nResp, session.Capacity(), session.ResponseDelay()*1e6)

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/core"
+	"github.com/uwb-sim/concurrent-ranging/internal/experiments"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/sim"
+	"github.com/uwb-sim/concurrent-ranging/ranging"
+)
+
+// populatedRegistry builds a registry resembling a mid-campaign crbench
+// process: live gauges, plain and labeled counters, a watched window, and
+// a trial-time histogram.
+func populatedRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Watch(experiments.MetricTrials, obs.WindowConfig{})
+	reg.Watch(experiments.MetricTrialSeconds, obs.WindowConfig{})
+	reg.SetGauge(experiments.MetricCampaignDoneLive, 40)
+	reg.SetGauge(experiments.MetricCampaignTotalLive, 100)
+	for i := 0; i < 40; i++ {
+		reg.Count(experiments.MetricTrials, 1)
+		reg.Observe(experiments.MetricTrialSeconds, 0.002)
+	}
+	reg.Count(core.MetricDetectCalls, 120)
+	reg.Count(core.MetricDetectTemplateEvals, 480)
+	reg.Count(core.MetricBatchBatches, 3)
+	reg.Count(core.MetricBatchCIRs, 120)
+	reg.Count(sim.MetricFramesOnAir, 160)
+	reg.Count(sim.MetricReceptions, 150)
+	reg.Count(ranging.MetricRespondersExpected, 120)
+	reg.Count(ranging.MetricRespondersFound, 111)
+	reg.CounterVec(core.MetricDetectCallsByBank, "templates").With("4").Add(120)
+	reg.CounterVec(core.MetricBatchWorkerItems, "worker").With("0").Add(60)
+	reg.CounterVec(core.MetricBatchWorkerItems, "worker").With("1").Add(60)
+	reg.CounterVec(sim.MetricReceptionsByKind, "kind").With("single").Add(110)
+	reg.CounterVec(sim.MetricReceptionsByKind, "kind").With("concurrent").Add(40)
+	reg.CounterVec(ranging.MetricRounds, "outcome").With("ok").Add(39)
+	reg.CounterVec(ranging.MetricRounds, "outcome").With("error").Add(1)
+	return reg
+}
+
+func TestRenderSections(t *testing.T) {
+	snap := populatedRegistry(t).Snapshot()
+	frame := render(nil, snap, 0, "127.0.0.1:0")
+	for _, want := range []string{
+		"Campaign", "40/100 (40%)", "trials 40",
+		"Throughput", "Latency", "trial p50",
+		"Detector   calls 120", "bank{templates=4} 120 calls",
+		"Batch      batches 3   cirs 120",
+		"worker=0:60", "worker=1:60",
+		"Sim        frames 160", "kind=concurrent 40",
+		"Ranging    found 111/120 (92.5%)", "outcome=error:1", "outcome=ok:39",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Fatalf("render emitted ANSI control codes; those belong to run:\n%s", frame)
+	}
+}
+
+func TestRenderDeltaRate(t *testing.T) {
+	reg := populatedRegistry(t)
+	prev := reg.Snapshot()
+	reg.Count(experiments.MetricTrials, 10)
+	cur := reg.Snapshot()
+	frame := render(&prev, cur, 2.0, "x")
+	if !strings.Contains(frame, "5.0 trials/s (now)") {
+		t.Fatalf("frame missing between-poll rate:\n%s", frame)
+	}
+}
+
+// TestRunOnceAgainstLiveServer is the end-to-end path: a debug server over
+// a recording registry, polled through run's -once mode.
+func TestRunOnceAgainstLiveServer(t *testing.T) {
+	reg := populatedRegistry(t)
+	srv, err := obs.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out, errw strings.Builder
+	cfg := config{Addr: srv.Addr, Interval: time.Millisecond, Once: true, Stdout: &out, Stderr: &errw}
+	if err := run(cfg); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	frame := out.String()
+	for _, want := range []string{"crtop — " + srv.Addr, "Campaign", "Detector   calls 120"} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("live frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Fatalf("-once mode must not clear the screen:\n%s", frame)
+	}
+}
+
+func TestRunUnreachable(t *testing.T) {
+	cfg := config{Addr: "127.0.0.1:1", Once: true, Stdout: &strings.Builder{}, Stderr: &strings.Builder{}}
+	if err := run(cfg); err == nil {
+		t.Fatal("run against an unreachable address should fail on the first frame")
+	}
+}
+
+func TestCheckExposition(t *testing.T) {
+	reg := populatedRegistry(t)
+	srv, err := obs.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// URL mode against the live /metrics endpoint.
+	var out strings.Builder
+	if err := run(config{Check: "http://" + srv.Addr + "/metrics", Stdout: &out}); err != nil {
+		t.Fatalf("check live scrape: %v", err)
+	}
+	if !strings.Contains(out.String(), "exposition ok") {
+		t.Fatalf("check output = %q", out.String())
+	}
+
+	// File mode round-trip through the writer.
+	var text strings.Builder
+	if err := obs.WritePrometheus(&text, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.txt")
+	if err := os.WriteFile(path, []byte(text.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(config{Check: path, Stdout: &out}); err != nil {
+		t.Fatalf("check file scrape: %v", err)
+	}
+
+	// A malformed scrape must fail.
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("no_help_or_type 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{Check: bad, Stdout: &out}); err == nil {
+		t.Fatal("malformed scrape passed -check")
+	}
+}

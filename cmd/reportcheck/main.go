@@ -6,9 +6,14 @@
 //
 // Usage:
 //
-//	reportcheck report.json [report2.json ...]
+//	reportcheck [-require-metrics prefixes] report.json [report2.json ...]
 //	reportcheck -compare old.json new.json [-max-regress factor] [-max-quality-drop pp]
 //	reportcheck -require-deterministic a.json b.json [more.json ...]
+//
+// -require-metrics takes comma-separated metric-family name prefixes
+// (e.g. "detector.,trace.") and fails any report that carries no family
+// matching each prefix — the gate that catches an instrumentation path
+// going silently unwired.
 //
 // In -compare mode both reports are validated and the per-experiment wall
 // times of the experiments common to both are compared: the run fails if
@@ -42,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
@@ -53,8 +59,9 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 4, "fail when an experiment exceeds this factor of its baseline wall time")
 	maxQualityDrop := flag.Float64("max-quality-drop", 1, "fail when the detection success rate drops by more than this many percentage points")
 	requireDet := flag.Bool("require-deterministic", false, "fail unless all reports are byte-identical after StripWallTime")
+	requireMetrics := flag.String("require-metrics", "", "comma-separated metric-family name `prefixes` each report must carry")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: reportcheck report.json [report2.json ...]")
+		fmt.Fprintln(os.Stderr, "usage: reportcheck [-require-metrics prefixes] report.json [report2.json ...]")
 		fmt.Fprintln(os.Stderr, "       reportcheck -compare old.json new.json [-max-regress factor] [-max-quality-drop pp]")
 		fmt.Fprintln(os.Stderr, "       reportcheck -require-deterministic a.json b.json [more.json ...]")
 		flag.PrintDefaults()
@@ -93,6 +100,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
 			failed = true
 			continue
+		}
+		if *requireMetrics != "" {
+			if err := requireFamilies(path, *requireMetrics); err != nil {
+				fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
+				failed = true
+				continue
+			}
 		}
 		fmt.Printf("%s: ok\n", path)
 	}
@@ -133,6 +147,55 @@ func check(path string) error {
 	}
 	if h.Sum <= 0 {
 		return fmt.Errorf("experiments.trial_seconds sum is %g, want > 0", h.Sum)
+	}
+	return nil
+}
+
+// requireFamilies fails unless the report's metrics snapshot carries, for
+// every comma-separated entry in spec, at least one metric family
+// (counter, gauge, histogram, or window) whose name starts with that
+// entry. CI passes the instrumentation families a campaign smoke run must
+// produce (detector., trace., ...) so a silently unwired recording path —
+// the metric constants exist but nothing ever records them — fails the
+// build instead of shipping hollow reports.
+func requireFamilies(path, spec string) error {
+	r, err := obs.ReadReportFile(path)
+	if err != nil {
+		return err
+	}
+	names := make(map[string]bool)
+	for _, c := range r.Metrics.Counters {
+		names[c.Name] = true
+	}
+	for _, g := range r.Metrics.Gauges {
+		names[g.Name] = true
+	}
+	for _, h := range r.Metrics.Histograms {
+		names[h.Name] = true
+	}
+	for _, w := range r.Metrics.Windows {
+		names[w.Name] = true
+	}
+	var missing []string
+	for _, want := range strings.Split(spec, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for name := range names {
+			if strings.HasPrefix(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("report has no metric families matching: %s", strings.Join(missing, ", "))
 	}
 	return nil
 }

@@ -302,6 +302,41 @@ func TestRequireDeterministic(t *testing.T) {
 	}
 }
 
+func TestRequireFamilies(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Watch("experiments.trials", obs.WindowConfig{})
+	reg.Count("sim.frames_on_air", 42)
+	reg.Count("experiments.trials", 15)
+	reg.Observe("experiments.trial_seconds", 0.002)
+	reg.Count("detector.detect_calls", 10)
+	reg.CounterVec("trace.spans", "name").With("session.round").Add(5)
+	r := obs.NewRunReport("crbench", 1, 3)
+	r.Experiments = []obs.ExperimentReport{{Name: "sec5", WallSeconds: 0.1, OutputBytes: 100}}
+	r.Finish(reg.Snapshot(), 120*time.Millisecond)
+	path := writeReport(t, r)
+
+	// Counter, labeled-counter, histogram, and window families all count,
+	// by exact name or prefix; empty entries are ignored.
+	if err := requireFamilies(path, "detector.,trace.,experiments.trial_seconds, ,sim."); err != nil {
+		t.Fatalf("present families flagged missing: %v", err)
+	}
+	err := requireFamilies(path, "detector.,ranging.,dsp.")
+	if err == nil {
+		t.Fatal("absent families passed -require-metrics")
+	}
+	for _, want := range []string{"dsp.", "ranging."} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err = %v, want mention of %q", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "detector.") {
+		t.Fatalf("err names a present family: %v", err)
+	}
+	if err := requireFamilies(filepath.Join(t.TempDir(), "missing.json"), "detector."); err == nil {
+		t.Fatal("missing report accepted")
+	}
+}
+
 func TestCheckRejectsGarbageFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "garbage.json")
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {

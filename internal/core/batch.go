@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/dsp"
@@ -22,6 +23,12 @@ const (
 	MetricBatchErrors = "detector.batch_errors"
 	// MetricBatchGroups is the per-batch distinct-CIR-length group count.
 	MetricBatchGroups = "detector.batch_groups"
+	// MetricBatchWorkerItems counts items processed per worker
+	// ({worker="i"}), so a dashboard can see the static round-robin
+	// partition's balance. The partition depends only on batch layout and
+	// pool size, so the per-worker values are deterministic. Recorded
+	// only when the Recorder supports labeled series (obs.VecSource).
+	MetricBatchWorkerItems = "detector.batch_worker_items"
 )
 
 // BatchInput is one CIR to detect on: the taps (sampled at the bank's
@@ -101,10 +108,14 @@ type BatchDetector struct {
 	groups  []batchGroup
 	order   []int32
 
-	rec    obs.Recorder
-	flight *trace.Tracer
-	onItem func(done int)
-	doneN  atomic.Int64
+	rec obs.Recorder
+	// workerItems holds the pre-resolved per-worker labeled counter
+	// children (one per pool slot; nil unless rec supports labeled
+	// series), so workers flush their item tallies without vec lookups.
+	workerItems []*obs.Counter
+	flight      *trace.Tracer
+	onItem      func(done int)
+	doneN       atomic.Int64
 }
 
 // NewBatchDetector builds a batch engine over the given bank and detector
@@ -156,6 +167,14 @@ func (b *BatchDetector) Config() DetectorConfig { return b.proto.Config() }
 // DetectBatch.
 func (b *BatchDetector) SetRecorder(r obs.Recorder) {
 	b.rec = r
+	b.workerItems = nil
+	if vs, ok := r.(obs.VecSource); ok {
+		vec := vs.CounterVec(MetricBatchWorkerItems, "worker")
+		b.workerItems = make([]*obs.Counter, len(b.workers))
+		for i := range b.workerItems {
+			b.workerItems[i] = vec.With(strconv.Itoa(i))
+		}
+	}
 	b.eachWorkerDetector(func(d *Detector) { d.SetRecorder(r) })
 }
 
@@ -317,6 +336,7 @@ func (b *BatchDetector) serve(w *batchWorker) {
 func (b *BatchDetector) runWorker(w *batchWorker) {
 	w.resp = w.resp[:0]
 	W := len(b.workers)
+	items := 0
 	for gi := range b.groups {
 		g := &b.groups[gi]
 		if g.fill == 0 {
@@ -325,6 +345,7 @@ func (b *BatchDetector) runWorker(w *batchWorker) {
 		det, err := b.workerDetector(w, g.state)
 		for k := g.lo + w.idx; k < g.lo+g.fill; k += W {
 			i := int(b.order[k])
+			items++
 			if err != nil {
 				b.res[i].Err = err
 				b.itemDone()
@@ -333,6 +354,21 @@ func (b *BatchDetector) runWorker(w *batchWorker) {
 			b.runItem(w, det, i)
 		}
 	}
+	// One flush per batch per worker, through the pre-resolved child. The
+	// tally is a function of the static partition alone, so the labeled
+	// series stays deterministic.
+	if ctr := b.workerItemCounter(w.idx); ctr != nil {
+		ctr.Add(int64(items))
+	}
+}
+
+// workerItemCounter returns the pre-resolved per-worker item counter, or
+// nil when labeled recording is off (the shape nilinstr can check).
+func (b *BatchDetector) workerItemCounter(idx int) *obs.Counter {
+	if b.workerItems == nil {
+		return nil
+	}
+	return b.workerItems[idx]
 }
 
 // runItem detects one input into the worker's arena, converting a panic

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/cmplx"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/dsp"
@@ -26,6 +27,12 @@ import (
 const (
 	// MetricDetectCalls counts Detect invocations.
 	MetricDetectCalls = "detector.detect_calls"
+	// MetricDetectCallsByBank is the labeled companion of
+	// MetricDetectCalls: calls counted per template-bank size
+	// ({templates="N"}), so a mixed campaign (anonymous vs pulse-shaped
+	// detectors) breaks its detector load down by bank. Recorded only
+	// when the Recorder supports labeled series (obs.VecSource).
+	MetricDetectCallsByBank = "detector.bank_detect_calls"
 	// MetricDetectIterations is the per-call extraction-round count.
 	MetricDetectIterations = "detector.iterations"
 	// MetricDetectResponses is the per-call detected-response count.
@@ -174,9 +181,13 @@ type Detector struct {
 	workers   []detectWorker     // per-worker scratch for the template fan-out
 
 	// rec is the optional instrumentation sink (nil = disabled, the
-	// default). The last* fields remember the dsp plan counters at the
-	// end of the previous recorded call so each Detect reports deltas.
-	rec obs.Recorder
+	// default). bankCalls is the pre-resolved per-bank-size labeled
+	// counter child (nil unless rec supports labeled series): the hot
+	// path touches only the resolved handle, never a vec lookup. The
+	// last* fields remember the dsp plan counters at the end of the
+	// previous recorded call so each Detect reports deltas.
+	rec       obs.Recorder
+	bankCalls *obs.Counter
 	// flight and traceParent feed the decision-level flight recorder:
 	// when either is live, Detect wraps itself in a trace span and emits
 	// one EventDetectRound per extraction round. roundScores (backed by
@@ -229,7 +240,16 @@ func (c candidate) better(o candidate) bool {
 // recorder hookup is not synchronized: set it before sharing work out,
 // and give each goroutine its own Detector as usual (one concurrent-safe
 // Recorder may back many detectors).
-func (d *Detector) SetRecorder(r obs.Recorder) { d.rec = r }
+func (d *Detector) SetRecorder(r obs.Recorder) {
+	d.rec = r
+	d.bankCalls = nil
+	if vs, ok := r.(obs.VecSource); ok {
+		// Resolve the labeled per-bank-size child once, here, so the per-call
+		// recording path stays a plain nil-guarded pointer.
+		d.bankCalls = vs.CounterVec(MetricDetectCallsByBank, "templates").
+			With(strconv.Itoa(len(d.templates)))
+	}
+}
 
 // SetFlightRecorder attaches the decision-level flight recorder; nil (the
 // default) disables it. The same contract as SetRecorder applies: tracing
@@ -644,6 +664,9 @@ func (d *Detector) recordDetect(responses []Response, rounds, refineSteps int,
 		return
 	}
 	rec.Count(MetricDetectCalls, 1)
+	if d.bankCalls != nil {
+		d.bankCalls.Inc()
+	}
 	rec.Observe(MetricDetectIterations, float64(rounds))
 	rec.Observe(MetricDetectResponses, float64(len(responses)))
 	rec.Observe(MetricDetectRefineSteps, float64(refineSteps))

@@ -18,7 +18,38 @@ const (
 	MetricTrialSeconds = "experiments.trial_seconds"
 	// MetricTrials counts completed Monte-Carlo trials.
 	MetricTrials = "experiments.trials"
+	// MetricTrialsByExperiment is the labeled companion of MetricTrials:
+	// trials counted per active experiment (see SetActiveExperiment).
+	// Recorded only when the installed Recorder supports labeled series
+	// (obs.VecSource; the Registry does).
+	MetricTrialsByExperiment = "experiments.experiment_trials"
+	// MetricCampaignDoneLive and MetricCampaignTotalLive are live
+	// campaign-progress gauges for dashboards (crtop's progress bar).
+	// The obs.LiveMetricSuffix marks them wall-time-class: their values
+	// depend on scheduling, so StripWallTime drops them from reports.
+	MetricCampaignDoneLive  = "experiments.campaign_done" + obs.LiveMetricSuffix
+	MetricCampaignTotalLive = "experiments.campaign_total" + obs.LiveMetricSuffix
 )
+
+// activeExperiment names the experiment currently running, for labeling
+// ambient metrics. Like the Instrumentation itself it is deliberately
+// ambient: harnesses (crbench) bracket each runner with
+// SetActiveExperiment(name) / SetActiveExperiment("") and the meter picks
+// the name up when a campaign starts.
+var activeExperiment atomic.Value // string
+
+// SetActiveExperiment declares which experiment subsequent campaigns
+// belong to, so per-experiment labeled metrics attribute trials
+// correctly. The empty string clears it.
+func SetActiveExperiment(name string) { activeExperiment.Store(name) }
+
+// ActiveExperiment returns the declared experiment name, or "".
+func ActiveExperiment() string {
+	if v := activeExperiment.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
 
 // Progress is one campaign progress update.
 type Progress struct {
@@ -176,6 +207,10 @@ type meter struct {
 	start    time.Time
 	progress ProgressFunc
 	rec      obs.Recorder
+	// expTrials is the per-experiment labeled trial counter, resolved
+	// once at campaign start (nil when no experiment is active or the
+	// Recorder has no labeled series).
+	expTrials *obs.Counter
 }
 
 // newMeter starts a campaign meter over total trials, or returns nil when
@@ -185,7 +220,17 @@ func newMeter(total int) *meter {
 	if in == nil || (in.Progress == nil && in.Recorder == nil) {
 		return nil
 	}
-	return &meter{total: total, start: wallNow(), progress: in.Progress, rec: in.Recorder}
+	m := &meter{total: total, start: wallNow(), progress: in.Progress, rec: in.Recorder}
+	if m.rec != nil {
+		if vs, ok := m.rec.(obs.VecSource); ok {
+			if name := ActiveExperiment(); name != "" {
+				m.expTrials = vs.CounterVec(MetricTrialsByExperiment, "experiment").With(name)
+			}
+		}
+		m.rec.SetGauge(MetricCampaignTotalLive, float64(total))
+		m.rec.SetGauge(MetricCampaignDoneLive, 0)
+	}
+	return m
 }
 
 // trialDone records one finished trial of the given duration and pushes a
@@ -195,19 +240,23 @@ func (m *meter) trialDone(d time.Duration) {
 		return
 	}
 	done := int(m.done.Add(1))
-	if m.rec != nil {
-		m.rec.Observe(MetricTrialSeconds, d.Seconds())
-		m.rec.Count(MetricTrials, 1)
-	}
-	if m.progress == nil {
-		return
-	}
 	// Multi-phase campaigns can tick a meter past its planned total (the
 	// phases share one meter); clamp so Done never overshoots Total and the
 	// estimate reads "finished" instead of silently pinning to a
 	// meaningless zero next to an impossible count.
 	if done > m.total {
 		done = m.total
+	}
+	if m.rec != nil {
+		m.rec.Observe(MetricTrialSeconds, d.Seconds())
+		m.rec.Count(MetricTrials, 1)
+		if m.expTrials != nil {
+			m.expTrials.Inc()
+		}
+		m.rec.SetGauge(MetricCampaignDoneLive, float64(done))
+	}
+	if m.progress == nil {
+		return
 	}
 	if done >= m.total {
 		m.terminal.Store(true)
@@ -224,7 +273,13 @@ func (m *meter) trialDone(d time.Duration) {
 // ever did: a zero-trial campaign never ticks at all, and a campaign can
 // end short of its planned total. Idempotent; a nil meter does nothing.
 func (m *meter) finish() {
-	if m == nil || m.progress == nil {
+	if m == nil {
+		return
+	}
+	if m.rec != nil {
+		m.rec.SetGauge(MetricCampaignDoneLive, float64(m.total))
+	}
+	if m.progress == nil {
 		return
 	}
 	if m.terminal.Swap(true) {

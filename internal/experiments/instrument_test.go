@@ -143,6 +143,96 @@ func TestMeterClampAndTerminalUpdate(t *testing.T) {
 	nilMeter.finish()
 }
 
+func TestActiveExperimentRoundTrip(t *testing.T) {
+	SetActiveExperiment("fig4")
+	t.Cleanup(func() { SetActiveExperiment("") })
+	if got := ActiveExperiment(); got != "fig4" {
+		t.Fatalf("ActiveExperiment() = %q, want fig4", got)
+	}
+	SetActiveExperiment("")
+	if got := ActiveExperiment(); got != "" {
+		t.Fatalf("ActiveExperiment() after clear = %q, want empty", got)
+	}
+}
+
+func TestMeterLabelsTrialsByExperiment(t *testing.T) {
+	reg := obs.NewRegistry()
+	withInstrumentation(t, &Instrumentation{Recorder: reg})
+	SetActiveExperiment("sec5")
+	t.Cleanup(func() { SetActiveExperiment("") })
+
+	m := newMeter(3)
+	for i := 0; i < 3; i++ {
+		m.trialDone(0)
+	}
+	m.finish()
+	SetActiveExperiment("fig4")
+	m2 := newMeter(2)
+	m2.trialDone(0)
+	m2.finish()
+
+	snap := reg.Snapshot()
+	perExp := map[string]int64{}
+	for _, c := range snap.CounterSeries(MetricTrialsByExperiment) {
+		perExp[c.Labels[0].Value] = c.Value
+	}
+	if perExp["sec5"] != 3 || perExp["fig4"] != 1 {
+		t.Fatalf("per-experiment trials = %v, want sec5:3 fig4:1", perExp)
+	}
+	if got := snap.CounterValue(MetricTrials); got != 4 {
+		t.Fatalf("%s = %d, want 4", MetricTrials, got)
+	}
+}
+
+func TestMeterWithoutActiveExperimentStaysUnlabeled(t *testing.T) {
+	reg := obs.NewRegistry()
+	withInstrumentation(t, &Instrumentation{Recorder: reg})
+	SetActiveExperiment("")
+
+	m := newMeter(2)
+	m.trialDone(0)
+	m.finish()
+	if series := reg.Snapshot().CounterSeries(MetricTrialsByExperiment); len(series) != 0 {
+		t.Fatalf("unattributed trials grew labeled series: %+v", series)
+	}
+}
+
+func TestMeterCampaignGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	withInstrumentation(t, &Instrumentation{Recorder: reg})
+
+	m := newMeter(5)
+	gauge := func(name string) float64 {
+		v, ok := reg.Snapshot().GaugeValue(name)
+		if !ok {
+			t.Fatalf("gauge %s not set", name)
+		}
+		return v
+	}
+	if got := gauge(MetricCampaignTotalLive); got != 5 {
+		t.Fatalf("total gauge = %g, want 5", got)
+	}
+	if got := gauge(MetricCampaignDoneLive); got != 0 {
+		t.Fatalf("done gauge at start = %g, want 0", got)
+	}
+	m.trialDone(0)
+	m.trialDone(0)
+	if got := gauge(MetricCampaignDoneLive); got != 2 {
+		t.Fatalf("done gauge = %g, want 2", got)
+	}
+	// Over-ticking clamps the gauge at total, and finish pins it there.
+	for i := 0; i < 10; i++ {
+		m.trialDone(0)
+	}
+	if got := gauge(MetricCampaignDoneLive); got != 5 {
+		t.Fatalf("over-ticked done gauge = %g, want clamp at 5", got)
+	}
+	m.finish()
+	if got := gauge(MetricCampaignDoneLive); got != 5 {
+		t.Fatalf("done gauge after finish = %g, want 5", got)
+	}
+}
+
 func TestInstrumentedExperimentsRecord(t *testing.T) {
 	// A tiny Sec5 + Campaign run — the crbench smoke pair — must populate
 	// trial timing and simulator counters through the ambient recorder.

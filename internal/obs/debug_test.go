@@ -28,10 +28,12 @@ func TestServeDebugExposesPprofAndExpvar(t *testing.T) {
 	reg.Count("sim.frames_on_air", 7)
 	reg.Observe("detector.iterations", 3)
 
-	addr, err := ServeDebug("localhost:0", reg)
+	srv, err := ServeDebug("localhost:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr
 	if !strings.Contains(addr, ":") {
 		t.Fatalf("bound address %q has no port", addr)
 	}
@@ -81,11 +83,12 @@ func TestPublishExpvarRebindsRegistry(t *testing.T) {
 	second.Count("sim.frames_on_air", 99)
 	PublishExpvar(second)
 
-	addr, err := ServeDebug("localhost:0", nil)
+	srv, err := ServeDebug("localhost:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, body := fetch(t, addr, "/debug/vars")
+	defer srv.Close()
+	_, body := fetch(t, srv.Addr, "/debug/vars")
 	var vars struct {
 		Crmetrics Snapshot `json:"crmetrics"`
 	}
@@ -97,6 +100,66 @@ func TestPublishExpvarRebindsRegistry(t *testing.T) {
 	}
 }
 
+func TestServeDebugMetricsEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Watch("sim.frames_on_air", WindowConfig{})
+	reg.Count("sim.frames_on_air", 7)
+
+	srv, err := ServeDebug("localhost:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// /metrics serves a checker-clean Prometheus exposition.
+	code, body := fetch(t, srv.Addr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if err := CheckPrometheusText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics scrape invalid: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "sim_frames_on_air 7") {
+		t.Errorf("/metrics missing registry counter:\n%s", body)
+	}
+
+	// /debug/metrics.json decodes into a Snapshot, windows included.
+	code, body = fetch(t, srv.Addr, "/debug/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/metrics.json: status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/metrics.json is not a Snapshot: %v", err)
+	}
+	if snap.CounterValue("sim.frames_on_air") != 7 {
+		t.Errorf("decoded counter = %d, want 7", snap.CounterValue("sim.frames_on_air"))
+	}
+	if _, ok := snap.WindowByName("sim.frames_on_air"); !ok {
+		t.Errorf("snapshot endpoint dropped the watched window:\n%s", body)
+	}
+}
+
+func TestServeDebugCloseFreesPort(t *testing.T) {
+	srv, err := ServeDebug("localhost:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The exact address must be bindable again once the handle is closed.
+	again, err := ServeDebug(addr, nil)
+	if err != nil {
+		t.Fatalf("rebinding %s after Close: %v", addr, err)
+	}
+	defer again.Close()
+	if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatalf("rebound server unreachable: %v", err)
+	}
+}
+
 func TestServeDebugBadAddress(t *testing.T) {
 	if _, err := ServeDebug("256.0.0.1:bogus", NewRegistry()); err == nil {
 		t.Fatal("nonsense address accepted")
@@ -104,11 +167,15 @@ func TestServeDebugBadAddress(t *testing.T) {
 }
 
 func TestServeDebugNilRegistry(t *testing.T) {
-	addr, err := ServeDebug("localhost:0", nil)
+	srv, err := ServeDebug("localhost:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if code, _ := fetch(t, addr, "/debug/vars"); code != http.StatusOK {
+	defer srv.Close()
+	if code, _ := fetch(t, srv.Addr, "/debug/vars"); code != http.StatusOK {
 		t.Errorf("expvar without registry: status %d", code)
+	}
+	if code, _ := fetch(t, srv.Addr, "/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics without registry: status %d", code)
 	}
 }

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample line.
+type PromSample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// histogram suffix.
+	Name string
+	// Labels are the sample's label pairs, in source order.
+	Labels []Label
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// PromFamily is one parsed exposition family: the HELP/TYPE header and
+// every sample under it.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePrometheus parses a Prometheus text-format scrape with the strict
+// expectations this repo's writer guarantees: every sample belongs to a
+// family that declared # HELP and # TYPE first, names are legal, label
+// syntax is well-formed, and values parse. It exists so tests and CI can
+// validate /metrics scrapes with the standard library alone.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var order []string
+	byName := map[string]*PromFamily{}
+	family := func(name string) *PromFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &PromFamily{Name: name}
+		byName[name] = f
+		order = append(order, name)
+		return f
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			if !validPromName(name) {
+				return nil, fmt.Errorf("line %d: HELP for invalid metric name %q", lineNo, name)
+			}
+			f := family(name)
+			if f.Help != "" {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			f.Help = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			if !validPromName(name) {
+				return nil, fmt.Errorf("line %d: TYPE for invalid metric name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown TYPE %q for %q", lineNo, typ, name)
+			}
+			f := family(name)
+			if f.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := promFamilyOf(sample.Name, byName)
+		f, ok := byName[base]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q precedes its family's HELP/TYPE", lineNo, sample.Name)
+		}
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	families := make([]PromFamily, len(order))
+	for i, name := range order {
+		families[i] = *byName[name]
+	}
+	return families, nil
+}
+
+// promFamilyOf strips the histogram sample suffixes when the remaining
+// base names a declared family.
+func promFamilyOf(name string, byName map[string]*PromFamily) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, declared := byName[base]; declared && (f.Type == "histogram" || f.Type == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parsePromSample parses `name{labels} value` (labels optional).
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.Name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[brace+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		rest = strings.TrimSpace(rest)
+	}
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	// A timestamp may trail the value; the repo's writer never emits one,
+	// but accept it to stay a real text-format parser.
+	valueField, _, _ := strings.Cut(rest, " ")
+	v, err := strconv.ParseFloat(valueField, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", valueField)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromLabels(body string) ([]Label, error) {
+	var labels []Label
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label %q has no value", rest)
+		}
+		key := rest[:eq]
+		if !validPromName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("label %q value is not quoted", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", key)
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return labels, nil
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckPrometheusText parses a scrape and enforces the extra invariants
+// this repo's writer promises: families appear in sorted name order,
+// every family has both HELP and TYPE and at least one sample, and
+// histogram families carry a +Inf bucket plus _sum/_count. CI feeds a
+// live /metrics scrape through it (via crtop -check) so a malformed
+// exposition fails the build.
+func CheckPrometheusText(r io.Reader) error {
+	families, err := ParsePrometheus(r)
+	if err != nil {
+		return err
+	}
+	if len(families) == 0 {
+		return fmt.Errorf("scrape has no metric families")
+	}
+	names := make([]string, len(families))
+	for i, f := range families {
+		names[i] = f.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		return fmt.Errorf("families are not name-sorted: %v", names)
+	}
+	for _, f := range families {
+		if f.Help == "" {
+			return fmt.Errorf("family %q has no HELP", f.Name)
+		}
+		if f.Type == "" {
+			return fmt.Errorf("family %q has no TYPE", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			return fmt.Errorf("family %q has no samples", f.Name)
+		}
+		if f.Type != "histogram" {
+			continue
+		}
+		var inf, sum, count bool
+		for _, s := range f.Samples {
+			switch s.Name {
+			case f.Name + "_sum":
+				sum = true
+			case f.Name + "_count":
+				count = true
+			case f.Name + "_bucket":
+				for _, l := range s.Labels {
+					if l.Key == "le" && l.Value == "+Inf" {
+						inf = true
+					}
+				}
+			}
+		}
+		if !inf || !sum || !count {
+			return fmt.Errorf("histogram %q is missing +Inf bucket, _sum, or _count", f.Name)
+		}
+	}
+	return nil
+}

@@ -29,20 +29,28 @@ type Recorder interface {
 // Registry names and owns a set of metrics. The zero value is not usable;
 // call NewRegistry. All methods are safe for concurrent use.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	buckets    map[string][]float64 // declared layouts for lazily created histograms
+	mu            sync.RWMutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	buckets       map[string][]float64 // declared layouts for lazily created histograms
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
+	windows       map[string]*Window // per-name time-series rings (Watch)
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
-		buckets:    make(map[string][]float64),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		buckets:       make(map[string][]float64),
+		counterVecs:   make(map[string]*CounterVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
+		histogramVecs: make(map[string]*HistogramVec),
+		windows:       make(map[string]*Window),
 	}
 }
 
@@ -113,17 +121,32 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Count implements Recorder.
-func (r *Registry) Count(name string, delta int64) { r.Counter(name).Add(delta) }
+// Count implements Recorder. A watched name's window ring receives the
+// delta as well.
+func (r *Registry) Count(name string, delta int64) {
+	r.Counter(name).Add(delta)
+	if w := r.window(name); w != nil {
+		w.Add(float64(delta))
+	}
+}
 
-// Observe implements Recorder.
-func (r *Registry) Observe(name string, value float64) { r.Histogram(name).Observe(value) }
+// Observe implements Recorder. A watched name's window ring receives the
+// value as well.
+func (r *Registry) Observe(name string, value float64) {
+	r.Histogram(name).Observe(value)
+	if w := r.window(name); w != nil {
+		w.Add(value)
+	}
+}
 
 // SetGauge implements Recorder.
 func (r *Registry) SetGauge(name string, value float64) { r.Gauge(name).Set(value) }
 
-// Snapshot returns a point-in-time, name-sorted copy of every metric,
-// suitable for JSON encoding. Concurrent recording during the snapshot
+// Snapshot returns a point-in-time copy of every metric — scalar and
+// labeled series alike — sorted by name, then by label values, so the
+// JSON encoding is deterministic for deterministic workloads. Watched
+// metrics additionally carry their window rings (wall-time-class data
+// that StripWallTime removes). Concurrent recording during the snapshot
 // yields values that are each individually consistent.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
@@ -138,8 +161,65 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.histograms {
 		snap.Histograms = append(snap.Histograms, h.snapshot(name))
 	}
-	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
-	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
-	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	for name, v := range r.counterVecs {
+		v.mu.RLock()
+		for key, c := range v.children {
+			snap.Counters = append(snap.Counters, CounterSnapshot{
+				Name: name, Labels: v.labels[key], Value: c.Value(),
+			})
+		}
+		v.mu.RUnlock()
+	}
+	for name, v := range r.gaugeVecs {
+		v.mu.RLock()
+		for key, g := range v.children {
+			snap.Gauges = append(snap.Gauges, GaugeSnapshot{
+				Name: name, Labels: v.labels[key], Value: g.Value(),
+			})
+		}
+		v.mu.RUnlock()
+	}
+	for name, v := range r.histogramVecs {
+		v.mu.RLock()
+		for key, h := range v.children {
+			hs := h.snapshot(name)
+			hs.Labels = v.labels[key]
+			snap.Histograms = append(snap.Histograms, hs)
+		}
+		v.mu.RUnlock()
+	}
+	for name, w := range r.windows {
+		snap.Windows = append(snap.Windows, w.Snapshot(name))
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool {
+		return seriesLess(snap.Counters[i].Name, snap.Counters[i].Labels,
+			snap.Counters[j].Name, snap.Counters[j].Labels)
+	})
+	sort.Slice(snap.Gauges, func(i, j int) bool {
+		return seriesLess(snap.Gauges[i].Name, snap.Gauges[i].Labels,
+			snap.Gauges[j].Name, snap.Gauges[j].Labels)
+	})
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		return seriesLess(snap.Histograms[i].Name, snap.Histograms[i].Labels,
+			snap.Histograms[j].Name, snap.Histograms[j].Labels)
+	})
+	sort.Slice(snap.Windows, func(i, j int) bool { return snap.Windows[i].Name < snap.Windows[j].Name })
 	return snap
+}
+
+// seriesLess orders metric series by name, then unlabeled before
+// labeled, then by label key/value pairs.
+func seriesLess(an string, al []Label, bn string, bl []Label) bool {
+	if an != bn {
+		return an < bn
+	}
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i].Key != bl[i].Key {
+			return al[i].Key < bl[i].Key
+		}
+		if al[i].Value != bl[i].Value {
+			return al[i].Value < bl[i].Value
+		}
+	}
+	return len(al) < len(bl)
 }

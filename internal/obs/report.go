@@ -109,12 +109,25 @@ func (r *RunReport) Finish(metrics Snapshot, wall time.Duration) {
 // deterministic for a fixed seed.
 const WallTimeMetricSuffix = "_seconds"
 
+// LiveMetricSuffix marks metrics that exist only to drive live dashboards
+// (e.g. the campaign progress gauges crtop reads). Their values race
+// between concurrent workers by design, so StripWallTime removes them
+// like wall-time metrics.
+const LiveMetricSuffix = "_live"
+
+// strippedMetric reports whether a metric name is removed by
+// StripWallTime.
+func strippedMetric(name string) bool {
+	return strings.HasSuffix(name, WallTimeMetricSuffix) || strings.HasSuffix(name, LiveMetricSuffix)
+}
+
 // StripWallTime returns a deep copy of the report with every
 // non-deterministic field zeroed: start time, wall times, runtime stats,
-// and any metric whose name ends in WallTimeMetricSuffix. Two runs with
-// the same seed, trials, and experiment list must produce byte-identical
-// JSON for the stripped report — the determinism contract crbench's tests
-// enforce.
+// every window ring (windows are wall-clock-bucketed by construction),
+// and any metric whose name ends in WallTimeMetricSuffix or
+// LiveMetricSuffix. Two runs with the same seed, trials, and experiment
+// list must produce byte-identical JSON for the stripped report — the
+// determinism contract crbench's tests enforce.
 func (r *RunReport) StripWallTime() *RunReport {
 	out := *r
 	out.StartTime = ""
@@ -128,17 +141,17 @@ func (r *RunReport) StripWallTime() *RunReport {
 	}
 	m := Snapshot{}
 	for _, c := range r.Metrics.Counters {
-		if !strings.HasSuffix(c.Name, WallTimeMetricSuffix) {
+		if !strippedMetric(c.Name) {
 			m.Counters = append(m.Counters, c)
 		}
 	}
 	for _, g := range r.Metrics.Gauges {
-		if !strings.HasSuffix(g.Name, WallTimeMetricSuffix) {
+		if !strippedMetric(g.Name) {
 			m.Gauges = append(m.Gauges, g)
 		}
 	}
 	for _, h := range r.Metrics.Histograms {
-		if !strings.HasSuffix(h.Name, WallTimeMetricSuffix) {
+		if !strippedMetric(h.Name) {
 			m.Histograms = append(m.Histograms, h)
 		}
 	}

@@ -2,24 +2,31 @@ package obs
 
 import "math"
 
-// Snapshot is a point-in-time copy of a Registry's metrics, name-sorted so
-// its JSON encoding is deterministic for deterministic workloads.
+// Snapshot is a point-in-time copy of a Registry's metrics, sorted by
+// name then labels so its JSON encoding is deterministic for
+// deterministic workloads. Labeled vec series appear as entries sharing
+// one Name, distinguished by Labels; Windows carries the watched
+// metrics' time-series rings (wall-time-class data: StripWallTime drops
+// it).
 type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters,omitempty"`
 	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Windows    []WindowSnapshot    `json:"windows,omitempty"`
 }
 
-// CounterSnapshot is one counter's value.
+// CounterSnapshot is one counter series' value.
 type CounterSnapshot struct {
-	Name  string `json:"name"`
-	Value int64  `json:"value"`
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
 }
 
-// GaugeSnapshot is one gauge's last value.
+// GaugeSnapshot is one gauge series' last value.
 type GaugeSnapshot struct {
-	Name  string  `json:"name"`
-	Value float64 `json:"value"`
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
 }
 
 // Bucket is one non-empty histogram bucket. UpperBound is +Inf-free: the
@@ -37,6 +44,7 @@ type Bucket struct {
 // deterministic ones: equal observation multisets yield equal values.
 type HistogramSnapshot struct {
 	Name    string   `json:"name"`
+	Labels  []Label  `json:"labels,omitempty"`
 	Count   int64    `json:"count"`
 	Sum     float64  `json:"sum"`
 	Min     *float64 `json:"min,omitempty"`
@@ -135,22 +143,59 @@ func (h *Histogram) snapshot(name string) HistogramSnapshot {
 	return s
 }
 
-// CounterValue returns the named counter's value, or 0 when absent.
+// CounterValue returns the named counter family's total — the sum over
+// every series sharing the name (an unlabeled counter is one series) —
+// or 0 when absent.
 func (s Snapshot) CounterValue(name string) int64 {
+	var total int64
 	for _, c := range s.Counters {
 		if c.Name == name {
-			return c.Value
+			total += c.Value
 		}
 	}
-	return 0
+	return total
 }
 
-// HistogramByName returns the named histogram snapshot, or false.
+// CounterSeries returns every counter series of the named family, in
+// snapshot (label-sorted) order.
+func (s Snapshot) CounterSeries(name string) []CounterSnapshot {
+	var out []CounterSnapshot
+	for _, c := range s.Counters {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// GaugeValue returns the named unlabeled gauge's value, or false when
+// absent.
+func (s Snapshot) GaugeValue(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name && len(g.Labels) == 0 {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramByName returns the named histogram snapshot (the unlabeled
+// series when the family is labeled), or false.
 func (s Snapshot) HistogramByName(name string) (HistogramSnapshot, bool) {
 	for _, h := range s.Histograms {
-		if h.Name == name {
+		if h.Name == name && len(h.Labels) == 0 {
 			return h, true
 		}
 	}
 	return HistogramSnapshot{}, false
+}
+
+// WindowByName returns the named metric's window snapshot, or false.
+func (s Snapshot) WindowByName(name string) (WindowSnapshot, bool) {
+	for _, w := range s.Windows {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return WindowSnapshot{}, false
 }

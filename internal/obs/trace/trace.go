@@ -33,6 +33,22 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+)
+
+// Metric names the tracer mirrors into an attached Recorder (SetMetrics),
+// so live dashboards can watch span/event volume — a per-name breakdown
+// of what the flight recorder is seeing — without draining the ring.
+const (
+	// MetricSpans counts spans opened (labeled by span name when the
+	// Recorder supports labeled series).
+	MetricSpans = "trace.spans"
+	// MetricEvents counts instant events recorded (labeled by event
+	// name).
+	MetricEvents = "trace.events"
+	// MetricSampledOut counts root spans dropped by sampling.
+	MetricSampledOut = "trace.sampled_out"
 )
 
 // Attrs carries the structured payload of a span or event. Values must be
@@ -111,6 +127,91 @@ type Tracer struct {
 	emitted uint64
 	skipped uint64 // root spans dropped by sampling
 	werr    error
+
+	// Metric mirror (SetMetrics). When the Recorder supports labeled
+	// series the tracer resolves one counter child per span/event name
+	// and caches it here; otherwise it falls back to the unlabeled
+	// family totals. All access is under mu.
+	rec        obs.Recorder
+	spanVec    *obs.CounterVec
+	eventVec   *obs.CounterVec
+	sampledOut *obs.Counter
+	spanCtrs   map[string]*obs.Counter
+	eventCtrs  map[string]*obs.Counter
+}
+
+// SetMetrics mirrors the tracer's span/event volume into rec as the
+// trace.* counter families, so a live dashboard can watch what the
+// flight recorder is seeing without draining the ring. When rec is an
+// obs.VecSource (the Registry is), spans and events are labeled by name;
+// otherwise only the unlabeled totals are counted. Passing nil detaches
+// the mirror. Mirroring is observational only: sampling decisions and
+// recorded events are identical with or without it.
+func (t *Tracer) SetMetrics(rec obs.Recorder) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rec = rec
+	t.spanVec, t.eventVec, t.sampledOut = nil, nil, nil
+	t.spanCtrs, t.eventCtrs = nil, nil
+	if rec == nil {
+		return
+	}
+	if vs, ok := rec.(obs.VecSource); ok {
+		t.spanVec = vs.CounterVec(MetricSpans, "name")
+		t.eventVec = vs.CounterVec(MetricEvents, "name")
+	}
+	if reg, ok := rec.(*obs.Registry); ok {
+		t.sampledOut = reg.Counter(MetricSampledOut)
+	}
+	t.spanCtrs = make(map[string]*obs.Counter)
+	t.eventCtrs = make(map[string]*obs.Counter)
+}
+
+// countSpan / countEvent bump the mirror counters. Callers hold t.mu.
+func (t *Tracer) countSpan(name string) {
+	if t.rec == nil {
+		return
+	}
+	if t.spanVec != nil {
+		ctr := t.spanCtrs[name]
+		if ctr == nil {
+			ctr = t.spanVec.With(name)
+			t.spanCtrs[name] = ctr
+		}
+		ctr.Inc()
+		return
+	}
+	t.rec.Count(MetricSpans, 1)
+}
+
+func (t *Tracer) countEvent(name string) {
+	if t.rec == nil {
+		return
+	}
+	if t.eventVec != nil {
+		ctr := t.eventCtrs[name]
+		if ctr == nil {
+			ctr = t.eventVec.With(name)
+			t.eventCtrs[name] = ctr
+		}
+		ctr.Inc()
+		return
+	}
+	t.rec.Count(MetricEvents, 1)
+}
+
+func (t *Tracer) countSampledOut() {
+	if t.rec == nil {
+		return
+	}
+	if t.sampledOut != nil {
+		t.sampledOut.Inc()
+		return
+	}
+	t.rec.Count(MetricSampledOut, 1)
 }
 
 // New builds a tracer. See Config for the knobs.
@@ -161,6 +262,7 @@ func (t *Tracer) Begin(name string, attrs Attrs) *Span {
 	t.roots++
 	if t.sample > 1 && (t.roots-1)%uint64(t.sample) != 0 {
 		t.skipped++
+		t.countSampledOut()
 		return unsampled
 	}
 	t.spanSeq++
@@ -229,6 +331,12 @@ func (t *Tracer) emit(ev Event) {
 	ev.Seq = t.seq
 	ev.TS = t.clock()
 	t.emitted++
+	switch ev.Phase {
+	case PhaseBegin:
+		t.countSpan(ev.Name)
+	case PhaseInstant:
+		t.countEvent(ev.Name)
+	}
 	if len(t.ring) > 0 {
 		t.ring[t.head] = ev
 		t.head = (t.head + 1) % len(t.ring)

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Window defaults: ten one-second windows, enough for "what happened over
+// the last 10 s" dashboards without holding meaningful history in RAM.
+const (
+	DefaultWindowWidth = time.Second
+	DefaultWindowCount = 10
+)
+
+// WindowConfig parameterizes a metric's time-series ring.
+type WindowConfig struct {
+	// Width is one window's duration; 0 selects DefaultWindowWidth.
+	Width time.Duration
+	// Windows is the ring length (how many windows of history are kept);
+	// 0 selects DefaultWindowCount.
+	Windows int
+	// Buckets is the histogram bucket layout used for moving quantiles;
+	// nil selects DefaultBuckets.
+	Buckets []float64
+	// Clock overrides the wall-clock source; nil uses time.Now. Tests
+	// use it to pin window boundaries.
+	Clock func() time.Time
+}
+
+// windowSlot is one fixed-width window's accumulation.
+type windowSlot struct {
+	epoch   int64 // aligned window index since the UNIX epoch; -1 = empty
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []int64 // len(bounds)+1, last = overflow
+}
+
+func (s *windowSlot) reset(epoch int64) {
+	s.epoch = epoch
+	s.count = 0
+	s.sum = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+	for i := range s.buckets {
+		s.buckets[i] = 0
+	}
+}
+
+// Window is a ring of the last N fixed-width windows of one metric's
+// observations, exposing live rates and moving quantiles. Values land in
+// the window covering their arrival time; windows older than the ring
+// length are forgotten. All methods are safe for concurrent use.
+//
+// Windows are wall-clock-driven by construction, so everything they
+// export is a wall-time-class quantity: RunReport.StripWallTime drops
+// every window from a snapshot before determinism comparisons.
+type Window struct {
+	width  time.Duration
+	bounds []float64
+	clock  func() time.Time
+
+	mu    sync.Mutex
+	slots []windowSlot
+}
+
+// NewWindow builds a standalone window ring; Registry.Watch is the usual
+// entry point, which also feeds the ring from the registry's Count and
+// Observe calls.
+func NewWindow(cfg WindowConfig) *Window {
+	if cfg.Width <= 0 {
+		cfg.Width = DefaultWindowWidth
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = DefaultWindowCount
+	}
+	bounds := cfg.Buckets
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets()
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	w := &Window{
+		width:  cfg.Width,
+		bounds: own,
+		clock:  cfg.Clock,
+		slots:  make([]windowSlot, cfg.Windows),
+	}
+	if w.clock == nil {
+		w.clock = time.Now
+	}
+	for i := range w.slots {
+		w.slots[i].buckets = make([]int64, len(own)+1)
+		w.slots[i].reset(-1)
+		w.slots[i].epoch = -1
+	}
+	return w
+}
+
+// Add records one value into the window covering the current instant.
+// Counter mirrors add their delta (rates come from Sum); histogram
+// mirrors add the observed value (rates come from Count, quantiles from
+// the buckets).
+func (w *Window) Add(v float64) {
+	now := w.clock()
+	w.mu.Lock()
+	s := w.slot(now)
+	s.count++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.buckets[sort.SearchFloat64s(w.bounds, v)]++
+	w.mu.Unlock()
+}
+
+// slot returns the ring slot for the given instant, resetting it if it
+// still holds an expired window. Callers hold w.mu.
+func (w *Window) slot(now time.Time) *windowSlot {
+	epoch := now.UnixNano() / int64(w.width)
+	s := &w.slots[int(epoch%int64(len(w.slots)))]
+	if s.epoch != epoch {
+		s.reset(epoch)
+	}
+	return s
+}
+
+// WindowPoint is one window of a time series, oldest-first in a
+// WindowSnapshot. Age is the window's start, in seconds before the
+// snapshot instant, so consumers can plot the series without sharing a
+// clock with the producer.
+type WindowPoint struct {
+	AgeSeconds float64 `json:"age_seconds"`
+	Count      int64   `json:"count"`
+	Sum        float64 `json:"sum"`
+}
+
+// WindowSnapshot is a point-in-time copy of one metric's window ring.
+// CountRate and SumRate are per-second rates over the ring's completed
+// windows (falling back to the in-progress window when it is all there
+// is); the quantiles are bucket-interpolated over every live window's
+// observations, i.e. "p95 over the last N·width seconds".
+type WindowSnapshot struct {
+	Name         string        `json:"name"`
+	WidthSeconds float64       `json:"width_seconds"`
+	Points       []WindowPoint `json:"points,omitempty"`
+	CountRate    float64       `json:"count_rate_per_second"`
+	SumRate      float64       `json:"sum_rate_per_second"`
+	P50          *float64      `json:"p50,omitempty"`
+	P95          *float64      `json:"p95,omitempty"`
+	P99          *float64      `json:"p99,omitempty"`
+}
+
+// Snapshot copies the ring's live windows out. The current (partial)
+// window is included as the newest point.
+func (w *Window) Snapshot(name string) WindowSnapshot {
+	now := w.clock()
+	nowEpoch := now.UnixNano() / int64(w.width)
+	oldest := nowEpoch - int64(len(w.slots)) + 1
+
+	snap := WindowSnapshot{Name: name, WidthSeconds: w.width.Seconds()}
+	merged := HistogramSnapshot{}
+	mergedBuckets := make([]int64, len(w.bounds)+1)
+	min, max := math.Inf(1), math.Inf(-1)
+
+	w.mu.Lock()
+	var completeCount int64
+	var completeSum float64
+	completeWindows := 0
+	for epoch := oldest; epoch <= nowEpoch; epoch++ {
+		s := &w.slots[int(epoch%int64(len(w.slots)))]
+		if s.epoch != epoch {
+			continue
+		}
+		startAge := now.Sub(time.Unix(0, epoch*int64(w.width)))
+		snap.Points = append(snap.Points, WindowPoint{
+			AgeSeconds: startAge.Seconds(),
+			Count:      s.count,
+			Sum:        s.sum,
+		})
+		merged.Count += s.count
+		merged.Sum += s.sum
+		if s.count > 0 {
+			if s.min < min {
+				min = s.min
+			}
+			if s.max > max {
+				max = s.max
+			}
+		}
+		for i, n := range s.buckets {
+			mergedBuckets[i] += n
+		}
+		if epoch < nowEpoch {
+			completeWindows++
+			completeCount += s.count
+			completeSum += s.sum
+		}
+	}
+	w.mu.Unlock()
+
+	if completeWindows > 0 {
+		span := float64(completeWindows) * w.width.Seconds()
+		snap.CountRate = float64(completeCount) / span
+		snap.SumRate = completeSum / span
+	} else if len(snap.Points) > 0 {
+		// Only the in-progress window exists; rate over its elapsed part.
+		elapsed := now.Sub(time.Unix(0, nowEpoch*int64(w.width))).Seconds()
+		if elapsed > 0 {
+			last := snap.Points[len(snap.Points)-1]
+			snap.CountRate = float64(last.Count) / elapsed
+			snap.SumRate = last.Sum / elapsed
+		}
+	}
+
+	if merged.Count > 0 {
+		for i, n := range mergedBuckets {
+			if n == 0 {
+				continue
+			}
+			b := Bucket{Count: n}
+			if i < len(w.bounds) {
+				b.UpperBound = w.bounds[i]
+			} else {
+				b.Overflow = true
+			}
+			merged.Buckets = append(merged.Buckets, b)
+		}
+		merged.Min, merged.Max = &min, &max
+		p50, p95, p99 := merged.Quantile(0.50), merged.Quantile(0.95), merged.Quantile(0.99)
+		snap.P50, snap.P95, snap.P99 = &p50, &p95, &p99
+	}
+	return snap
+}
+
+// Watch attaches a window ring to the named metric: every subsequent
+// Registry.Count delta and Registry.Observe value recorded under that
+// name also lands in the ring, and the registry's Snapshot carries the
+// ring's WindowSnapshot. Watching an already-watched name returns the
+// existing ring unchanged. Note the feed point is the Registry's
+// Recorder methods — series resolved directly from a vec bypass it.
+func (r *Registry) Watch(name string, cfg WindowConfig) *Window {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.windows[name]; ok {
+		return w
+	}
+	w := NewWindow(cfg)
+	r.windows[name] = w
+	return w
+}
+
+// window returns the ring watching name, or nil.
+func (r *Registry) window(name string) *Window {
+	r.mu.RLock()
+	w := r.windows[name]
+	r.mu.RUnlock()
+	return w
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for pinning window boundaries.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// windowBase is an arbitrary instant aligned to a whole second.
+var windowBase = time.Unix(1_000_000, 0)
+
+func TestWindowRatesOverCompletedWindows(t *testing.T) {
+	clk := &fakeClock{now: windowBase}
+	w := NewWindow(WindowConfig{Width: time.Second, Windows: 5, Clock: clk.Now})
+	// Two completed windows of 10 adds × value 2, then a partial one.
+	for win := 0; win < 2; win++ {
+		for i := 0; i < 10; i++ {
+			w.Add(2)
+		}
+		clk.Advance(time.Second)
+	}
+	w.Add(2) // in-progress window, excluded from the rates
+	snap := w.Snapshot("m")
+	if snap.CountRate != 10 {
+		t.Fatalf("CountRate = %g, want 10", snap.CountRate)
+	}
+	if snap.SumRate != 20 {
+		t.Fatalf("SumRate = %g, want 20", snap.SumRate)
+	}
+	if len(snap.Points) != 3 {
+		t.Fatalf("got %d points, want 3 (2 complete + 1 partial): %+v", len(snap.Points), snap.Points)
+	}
+	// Points are oldest-first with decreasing age.
+	for i := 1; i < len(snap.Points); i++ {
+		if snap.Points[i].AgeSeconds >= snap.Points[i-1].AgeSeconds {
+			t.Fatalf("points not oldest-first: %+v", snap.Points)
+		}
+	}
+	if snap.WidthSeconds != 1 {
+		t.Fatalf("WidthSeconds = %g, want 1", snap.WidthSeconds)
+	}
+}
+
+func TestWindowPartialOnlyRate(t *testing.T) {
+	clk := &fakeClock{now: windowBase.Add(500 * time.Millisecond)}
+	w := NewWindow(WindowConfig{Width: time.Second, Windows: 5, Clock: clk.Now})
+	w.Add(1)
+	w.Add(1)
+	// Only the in-progress window exists; the rate covers its elapsed half.
+	snap := w.Snapshot("m")
+	if snap.CountRate != 4 {
+		t.Fatalf("CountRate = %g, want 4 (2 adds over 0.5 s)", snap.CountRate)
+	}
+}
+
+func TestWindowForgetsExpiredSlots(t *testing.T) {
+	clk := &fakeClock{now: windowBase}
+	w := NewWindow(WindowConfig{Width: time.Second, Windows: 3, Clock: clk.Now})
+	w.Add(100) // will expire
+	clk.Advance(10 * time.Second)
+	w.Add(1)
+	snap := w.Snapshot("m")
+	if len(snap.Points) != 1 || snap.Points[0].Sum != 1 {
+		t.Fatalf("expired window leaked into snapshot: %+v", snap.Points)
+	}
+	if snap.P99 == nil || *snap.P99 > 1 {
+		t.Fatalf("quantiles include the expired value: p99 = %v", snap.P99)
+	}
+}
+
+func TestWindowMovingQuantiles(t *testing.T) {
+	clk := &fakeClock{now: windowBase}
+	w := NewWindow(WindowConfig{Width: time.Second, Windows: 10, Clock: clk.Now})
+	// 90 fast observations and 10 slow ones across two windows.
+	for i := 0; i < 90; i++ {
+		w.Add(0.001)
+	}
+	clk.Advance(time.Second)
+	for i := 0; i < 10; i++ {
+		w.Add(0.5)
+	}
+	snap := w.Snapshot("m")
+	if snap.P50 == nil || *snap.P50 > 0.01 {
+		t.Fatalf("p50 = %v, want ~1 ms", snap.P50)
+	}
+	if snap.P99 == nil || *snap.P99 < 0.1 {
+		t.Fatalf("p99 = %v, want ~0.5 s", snap.P99)
+	}
+}
+
+func TestRegistryWatchFeedsWindows(t *testing.T) {
+	clk := &fakeClock{now: windowBase}
+	reg := NewRegistry()
+	w := reg.Watch("m", WindowConfig{Width: time.Second, Windows: 4, Clock: clk.Now})
+	if again := reg.Watch("m", WindowConfig{Windows: 99}); again != w {
+		t.Fatal("re-watching replaced the ring")
+	}
+	reg.Count("m", 5)
+	reg.Count("other", 1) // unwatched: no ring
+	clk.Advance(time.Second)
+
+	snap := reg.Snapshot()
+	ws, ok := snap.WindowByName("m")
+	if !ok {
+		t.Fatalf("snapshot has no window for m: %+v", snap.Windows)
+	}
+	if ws.SumRate != 5 {
+		t.Fatalf("SumRate = %g, want 5", ws.SumRate)
+	}
+	if _, ok := snap.WindowByName("other"); ok {
+		t.Fatal("unwatched metric grew a window")
+	}
+	// Observe feeds the same ring when watching a histogram name.
+	reg.Watch("h", WindowConfig{Width: time.Second, Windows: 4, Clock: clk.Now})
+	reg.Observe("h", 0.25)
+	hs, ok := reg.Snapshot().WindowByName("h")
+	if !ok || hs.Points[len(hs.Points)-1].Sum != 0.25 {
+		t.Fatalf("observe did not reach the ring: %+v", hs)
+	}
+}
+
+func TestStripWallTimeDropsWindows(t *testing.T) {
+	reg := NewRegistry()
+	reg.Watch("m", WindowConfig{})
+	reg.Count("m", 3)
+	r := NewRunReport("test", 1, 1)
+	r.Experiments = []ExperimentReport{{Name: "e", WallSeconds: 0.1, OutputBytes: 1}}
+	r.Finish(reg.Snapshot(), time.Millisecond)
+	if len(r.Metrics.Windows) == 0 {
+		t.Fatal("report lost the window series")
+	}
+	stripped := r.StripWallTime()
+	if len(stripped.Metrics.Windows) != 0 {
+		t.Fatalf("StripWallTime kept wall-clock windows: %+v", stripped.Metrics.Windows)
+	}
+	if stripped.Metrics.CounterValue("m") != 3 {
+		t.Fatal("StripWallTime dropped the deterministic counter")
+	}
+}

@@ -74,6 +74,11 @@ type Network struct {
 	trace       func(TraceEvent)
 	stats       Stats
 	rec         obs.Recorder
+	// recSingle/recConcurrent are pre-resolved labeled reception
+	// counters (nil unless rec supports labeled series); see
+	// MetricReceptionsByKind.
+	recSingle     *obs.Counter
+	recConcurrent *obs.Counter
 
 	// flight and traceParent feed the decision-level flight recorder
 	// (internal/obs/trace); see flight.go. Distinct from the text

@@ -17,6 +17,12 @@ const (
 	// MetricDecodeFailures counts rounds whose locked payload did not
 	// survive the concurrent interference (capture model).
 	MetricDecodeFailures = "sim.decode_failures"
+	// MetricReceptionsByKind is the labeled companion of
+	// MetricReceptions: receptions counted per arrival regime
+	// ({kind="single"} vs {kind="concurrent"}, the ≥ 2-overlap case).
+	// Recorded only when the Recorder supports labeled series
+	// (obs.VecSource).
+	MetricReceptionsByKind = "sim.receptions_by_kind"
 )
 
 // Stats is a network's cumulative event tally. The simulator is
@@ -42,7 +48,15 @@ func (n *Network) Stats() Stats { return n.stats }
 // mirroring; the Stats tally always runs). The same no-op-when-nil,
 // observation-only contract as core.Detector.SetRecorder applies: a
 // recorder never changes simulation results.
-func (n *Network) SetRecorder(rec obs.Recorder) { n.rec = rec }
+func (n *Network) SetRecorder(rec obs.Recorder) {
+	n.rec = rec
+	n.recSingle, n.recConcurrent = nil, nil
+	if vs, ok := rec.(obs.VecSource); ok {
+		vec := vs.CounterVec(MetricReceptionsByKind, "kind")
+		n.recSingle = vec.With("single")
+		n.recConcurrent = vec.With("concurrent")
+	}
+}
 
 func (n *Network) countFrame() {
 	n.stats.FramesOnAir++
@@ -61,6 +75,13 @@ func (n *Network) countReception(arrivals int) {
 		if n.rec != nil {
 			n.rec.Count(MetricCollisions, 1)
 		}
+		if n.recConcurrent != nil {
+			n.recConcurrent.Inc()
+		}
+		return
+	}
+	if n.recSingle != nil {
+		n.recSingle.Inc()
 	}
 }
 

@@ -166,10 +166,14 @@ type Session struct {
 	// Instrumentation (all optional): the metrics recorder, the
 	// decision-level flight recorder, the scenario seed the trace spans
 	// carry, and the 0-based Run counter.
-	rec    obs.Recorder
-	flight *trace.Tracer
-	seed   uint64
-	rounds uint64
+	rec obs.Recorder
+	// roundsOK/roundsErr are pre-resolved labeled round-outcome counters
+	// (nil unless rec supports labeled series); see MetricRounds.
+	roundsOK  *obs.Counter
+	roundsErr *obs.Counter
+	flight    *trace.Tracer
+	seed      uint64
+	rounds    uint64
 }
 
 // Build validates the scenario and constructs the simulation.

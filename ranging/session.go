@@ -25,6 +25,10 @@ const (
 	MetricRespondersFound = "ranging.responders_found"
 	// MetricRoundErrors counts Run calls that returned an error.
 	MetricRoundErrors = "ranging.round_errors"
+	// MetricRounds counts Run calls per outcome ({outcome="ok"} or
+	// {outcome="error"}). Recorded only when the Recorder supports
+	// labeled series (obs.VecSource).
+	MetricRounds = "ranging.rounds"
 )
 
 // Measurement is one per-responder ranging outcome.
@@ -227,7 +231,13 @@ func (s *Session) recordRun(result *Result, err error) {
 	s.rec.Count(MetricRespondersExpected, int64(len(s.resps)))
 	if err != nil {
 		s.rec.Count(MetricRoundErrors, 1)
+		if s.roundsErr != nil {
+			s.roundsErr.Inc()
+		}
 		return
+	}
+	if s.roundsOK != nil {
+		s.roundsOK.Inc()
 	}
 	var found int64
 	for _, m := range result.Measurements {
@@ -392,6 +402,12 @@ func (s *Session) SetTracer(fn func(TraceEvent)) {
 // satisfies the interface and is safe for concurrent use across sessions.
 func (s *Session) SetRecorder(rec obs.Recorder) {
 	s.rec = rec
+	s.roundsOK, s.roundsErr = nil, nil
+	if vs, ok := rec.(obs.VecSource); ok {
+		vec := vs.CounterVec(MetricRounds, "outcome")
+		s.roundsOK = vec.With("ok")
+		s.roundsErr = vec.With("error")
+	}
 	s.detector.SetRecorder(rec)
 	s.net.SetRecorder(rec)
 }
