@@ -58,13 +58,14 @@ microbench:
 
 # Append the next point of the committed BENCH_*.json performance
 # trajectory: the standing experiment set at 25 trials plus the
-# 108-template fullbank detector comparison, validated and
+# 108-template fullbank detector comparison and the sharded-engine swarm
+# scale sweep (trials 25 reaches the 100k-node point), validated and
 # regression-checked against the previous point.
 bench:
 	@last=$$(ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$$/\1/p' | sort -n | tail -1); \
 	next=$$(( $${last:-0} + 1 )); \
 	echo "writing BENCH_$$next.json"; \
-	$(GO) run ./cmd/crbench -trials 25 -json BENCH_$$next.json fig4 sec5 sec6 campaign fullbank >/dev/null; \
+	$(GO) run ./cmd/crbench -trials 25 -json BENCH_$$next.json fig4 sec5 sec6 campaign fullbank swarm >/dev/null; \
 	if [ -n "$$last" ]; then \
 		$(GO) run ./cmd/reportcheck -compare BENCH_$$last.json BENCH_$$next.json; \
 	else \

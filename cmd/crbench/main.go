@@ -7,7 +7,7 @@
 //	crbench [-trials N] [-seed S] [-json path] [-progress] [-pprof addr] [experiment ...]
 //
 // Experiments: fig1 fig2 sec3 fig4 fig5 sec5 fig6 table1 sec6 sec7 fig8
-// sec8 campaign capture fullbank ablation. Running without arguments
+// sec8 campaign capture fullbank swarm ablation. Running without arguments
 // executes all of them. The -trials flag scales the Monte-Carlo experiments: 0 keeps each
 // experiment's paper-faithful default (e.g. 5000 SS-TWR operations for
 // Sect. V), smaller values give quick previews.
@@ -170,6 +170,13 @@ var runners = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"swarm": func(trials int, seed uint64) (string, error) {
+		r, err := experiments.SwarmScale(experiments.SwarmScaleConfig{Trials: trials, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 	"ablation": func(trials int, seed uint64) (string, error) {
 		up, err := experiments.AblationUpsample(trials, seed)
 		if err != nil {
@@ -199,7 +206,7 @@ var runners = map[string]runner{
 var order = []string{
 	"fig1", "fig2", "sec3", "fig4", "fig5", "sec5", "fig6",
 	"table1", "sec6", "sec7", "fig8", "sec8", "campaign", "capture",
-	"fullbank", "ablation",
+	"fullbank", "swarm", "ablation",
 }
 
 func main() {
@@ -322,6 +329,7 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 
 	report = obs.NewRunReport("crbench", cfg.Seed, cfg.Trials)
 	experiments.TakeBatchThroughput() // discard any stale tally
+	experiments.TakeSwarmThroughput()
 	start := time.Now()
 	for i, name := range names {
 		printer.setLabel(name)
@@ -340,6 +348,10 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 		}
 		if cirs, secs := experiments.TakeBatchThroughput(); cirs > 0 && secs > 0 {
 			er.CIRsPerSecond = float64(cirs) / secs
+		}
+		if events, rounds, secs := experiments.TakeSwarmThroughput(); events > 0 && secs > 0 {
+			er.EventsPerSecond = float64(events) / secs
+			er.RoundsPerSecond = float64(rounds) / secs
 		}
 		report.Experiments = append(report.Experiments, er)
 		fmt.Fprint(tableW, out)

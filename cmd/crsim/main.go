@@ -22,17 +22,27 @@
 // search-and-subtract iteration. -trace-sample N records every Nth round.
 // Analyze the file with crtrace (triage table, span dumps, Chrome trace
 // export).
+//
+// -swarm N switches to the sharded parallel event engine and simulates an
+// N-node city-scale swarm (mobility, round phases and geometry from the
+// seed's split RNG streams), printing engine and ranging summaries.
+// -swarm-workers sets the worker count (0 = GOMAXPROCS), -swarm-duration
+// the simulated horizon in seconds, and -swarm-verify re-runs the same
+// deployment single-worker and fails unless the results are bit-identical.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
+	"github.com/uwb-sim/concurrent-ranging/internal/sim"
 	"github.com/uwb-sim/concurrent-ranging/ranging"
 )
 
@@ -99,8 +109,16 @@ func run() (err error) {
 	traceFile := flag.String("tracefile", "", "stream the detection flight recorder to this JSONL `file` (analyze with crtrace)")
 	traceSample := flag.Int("trace-sample", 1, "record every Nth round in the flight recorder")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this `address`")
+	swarmN := flag.Int("swarm", 0, "simulate an N-node city-scale swarm on the sharded engine instead of a single round")
+	swarmWorkers := flag.Int("swarm-workers", 0, "sharded engine worker count for -swarm (0 = GOMAXPROCS)")
+	swarmDuration := flag.Float64("swarm-duration", 0, "simulated horizon in seconds for -swarm (0 = default 0.2 s)")
+	swarmVerify := flag.Bool("swarm-verify", false, "also run -swarm with 1 worker and fail unless results are bit-identical")
 	flag.Var(&resps, "resp", "responder as ID:x,y (repeatable)")
 	flag.Parse()
+
+	if *swarmN > 0 {
+		return runSwarm(*swarmN, *swarmWorkers, *swarmDuration, *seed, *swarmVerify)
+	}
 
 	var sc *ranging.Scenario
 	nResp := len(resps)
@@ -171,9 +189,13 @@ func run() (err error) {
 		defer dbg.Close()
 		fmt.Fprintf(os.Stderr, "crsim: debug server on http://%s/debug/pprof/ (/metrics, /debug/metrics.json)\n", dbg.Addr)
 	}
+	return runRounds(session, nResp, *rounds)
+}
+
+func runRounds(session *ranging.Session, nResp, rounds int) error {
 	fmt.Printf("%d responders, scheme capacity %d, Δ_RESP %.0f µs\n",
 		nResp, session.Capacity(), session.ResponseDelay()*1e6)
-	for round := 0; round < *rounds; round++ {
+	for round := 0; round < rounds; round++ {
 		res, err := session.Run()
 		if err != nil {
 			return fmt.Errorf("round %d: %w", round, err)
@@ -194,6 +216,49 @@ func run() (err error) {
 			fmt.Printf("  %-10s %-6d %-6d %-10.3f %-10.3f %-+8.3f%s\n",
 				id, m.Slot, m.Shape, m.Distance, m.TrueDistance, m.Error(), anchor)
 		}
+	}
+	return nil
+}
+
+// runSwarm simulates an N-node swarm on the sharded event engine and
+// prints a one-screen summary. With verify it re-runs the same
+// deployment single-worker and fails unless the merged stats and event
+// counts are bit-identical — the engine's determinism contract.
+func runSwarm(n, workers int, duration float64, seed uint64, verify bool) error {
+	cfg := sim.SwarmConfig{N: n, Seed: seed, Duration: duration}
+	sw, err := sim.NewSwarm(cfg)
+	if err != nil {
+		return err
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	res, err := sw.RunSharded(workers)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	fmt.Printf("swarm: %d nodes over %.0f × %.0f m, %d shards, lookahead %.1f µs\n",
+		n, sw.Side(), sw.Side(), sw.Shards(), sw.Lookahead()*1e6)
+	fmt.Printf("engine: %d workers, %d barrier windows, %d events in %.3f s (%.3g events/s)\n",
+		res.Workers, res.Windows, res.Events, wall, float64(res.Events)/wall)
+	st := res.Stats
+	fmt.Printf("rounds: %d started, %d completed (%d empty), %d cross-shard frames (%.2f%% of %d)\n",
+		st.RoundsStarted, st.RoundsCompleted, st.EmptyRounds,
+		st.CrossShardFrames, 100*float64(st.CrossShardFrames)/float64(max(st.Frames, 1)), st.Frames)
+	fmt.Printf("ranging: %d responses, %d resolved, %d slot collisions, %d busy skips, mean |err| %.3f m\n",
+		st.Responses, st.Resolved, st.SlotCollisions, st.BusySkips, st.MeanAbsErr())
+	if verify {
+		ref, err := sw.RunSharded(1)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		if ref.Stats != res.Stats || ref.Events != res.Events {
+			return fmt.Errorf("verify: %d-worker run diverged from 1-worker reference:\n  %d workers: %s\n  1 worker:  %s",
+				res.Workers, res.Workers, res.Stats.String(), ref.Stats.String())
+		}
+		fmt.Printf("verify: %d-worker run bit-identical to 1-worker reference\n", res.Workers)
 	}
 	return nil
 }

@@ -318,45 +318,58 @@ func compare(oldPath, newPath string, maxRegress, maxQualityDrop float64) error 
 	return nil
 }
 
-// compareThroughput gates batch-detection throughput per experiment: when
-// both reports carry a CIRsPerSecond measurement for an experiment, the
-// comparison fails if the new rate fell below baseline/maxRegress. An
-// experiment where only one side measured throughput prints a notice and
-// skips the gate — that is a changed experiment list or a newly added
-// measurement, not a regression signal.
+// compareThroughput gates measured throughputs per experiment — the
+// batch-detection CIR rate and the sharded-engine event rate: when both
+// reports carry a measurement for an experiment, the comparison fails if
+// the new rate fell below baseline/maxRegress. An experiment where only
+// one side measured throughput prints a notice and skips the gate — that
+// is a changed experiment list or a newly added measurement, not a
+// regression signal.
 func compareThroughput(oldR, newR *obs.RunReport, maxRegress float64) error {
-	baseline := make(map[string]float64, len(oldR.Experiments))
-	for _, e := range oldR.Experiments {
-		baseline[e.Name] = e.CIRsPerSecond
+	rates := []struct {
+		unit  string
+		label string
+		get   func(obs.ExperimentReport) float64
+	}{
+		{"CIRs/s", "batch", func(e obs.ExperimentReport) float64 { return e.CIRsPerSecond }},
+		{"events/s", "swarm", func(e obs.ExperimentReport) float64 { return e.EventsPerSecond }},
 	}
-	failed := 0
-	for _, e := range newR.Experiments {
-		old, ok := baseline[e.Name]
-		if !ok {
-			continue
+	var firstErr error
+	for _, r := range rates {
+		baseline := make(map[string]float64, len(oldR.Experiments))
+		for _, e := range oldR.Experiments {
+			baseline[e.Name] = r.get(e)
 		}
-		switch {
-		case old > 0 && e.CIRsPerSecond > 0:
-			floor := old / maxRegress
-			status := "ok"
-			if e.CIRsPerSecond < floor {
-				status = fmt.Sprintf("REGRESSION (floor %.1f CIRs/s)", floor)
-				failed++
+		failed := 0
+		for _, e := range newR.Experiments {
+			old, ok := baseline[e.Name]
+			if !ok {
+				continue
 			}
-			fmt.Printf("throughput %-10s %8.1f -> %8.1f CIRs/s (%.2fx) %s\n",
-				e.Name, old, e.CIRsPerSecond, ratio(e.CIRsPerSecond, old), status)
-		case old > 0:
-			fmt.Printf("throughput %-10s baseline %.1f CIRs/s but new report has no measurement; gate skipped\n",
-				e.Name, old)
-		case e.CIRsPerSecond > 0:
-			fmt.Printf("throughput %-10s %.1f CIRs/s with no baseline measurement; gate skipped\n",
-				e.Name, e.CIRsPerSecond)
+			rate := r.get(e)
+			switch {
+			case old > 0 && rate > 0:
+				floor := old / maxRegress
+				status := "ok"
+				if rate < floor {
+					status = fmt.Sprintf("REGRESSION (floor %.1f %s)", floor, r.unit)
+					failed++
+				}
+				fmt.Printf("throughput %-10s %8.1f -> %8.1f %s (%.2fx) %s\n",
+					e.Name, old, rate, r.unit, ratio(rate, old), status)
+			case old > 0:
+				fmt.Printf("throughput %-10s baseline %.1f %s but new report has no measurement; gate skipped\n",
+					e.Name, old, r.unit)
+			case rate > 0:
+				fmt.Printf("throughput %-10s %.1f %s with no baseline measurement; gate skipped\n",
+					e.Name, rate, r.unit)
+			}
+		}
+		if failed > 0 && firstErr == nil {
+			firstErr = fmt.Errorf("%d experiments regressed %s throughput beyond %gx", failed, r.label, maxRegress)
 		}
 	}
-	if failed > 0 {
-		return fmt.Errorf("%d experiments regressed batch throughput beyond %gx", failed, maxRegress)
-	}
-	return nil
+	return firstErr
 }
 
 // successRate returns the detection success rate in percent (responders

@@ -183,6 +183,37 @@ func TakeBatchThroughput() (cirs int, seconds float64) {
 	return cirs, seconds
 }
 
+// swarmTally accumulates the sharded-engine throughput measured by the
+// most recent swarm experiment, for crbench to surface as the
+// per-experiment events_per_second / rounds_per_second report fields.
+// Wall-derived, so those fields are wall-time-class and StripWallTime
+// zeroes them.
+var swarmTally struct {
+	mu      sync.Mutex
+	events  int
+	rounds  int
+	seconds float64
+}
+
+// addSwarmThroughput adds one timed swarm run to the tally.
+func addSwarmThroughput(events, rounds int, seconds float64) {
+	swarmTally.mu.Lock()
+	swarmTally.events += events
+	swarmTally.rounds += rounds
+	swarmTally.seconds += seconds
+	swarmTally.mu.Unlock()
+}
+
+// TakeSwarmThroughput returns the accumulated swarm throughput sample
+// (events executed, rounds completed, wall seconds) and resets the tally.
+func TakeSwarmThroughput() (events, rounds int, seconds float64) {
+	swarmTally.mu.Lock()
+	events, rounds, seconds = swarmTally.events, swarmTally.rounds, swarmTally.seconds
+	swarmTally.events, swarmTally.rounds, swarmTally.seconds = 0, 0, 0
+	swarmTally.mu.Unlock()
+	return events, rounds, seconds
+}
+
 // wallNow is this package's single sanctioned wall-clock read. Every
 // duration derived from it flows into progress callbacks or a *_seconds
 // field/metric, all of which StripWallTime removes from run reports, so

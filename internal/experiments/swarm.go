@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/sim"
+)
+
+// SwarmScaleConfig parameterizes the city-scale swarm sweep.
+type SwarmScaleConfig struct {
+	// Trials bounds the sweep size like the other Monte-Carlo knobs:
+	// 0 runs the full ladder up to 100 000 nodes, otherwise the largest
+	// N is capped at 4000·Trials (so -trials 3 previews up to 10k nodes).
+	Trials int
+	// Seed drives the deployment and every protocol draw.
+	Seed uint64
+	// Workers is the sharded engine's worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// Sizes overrides the swept node counts.
+	Sizes []int
+}
+
+// SwarmScalePoint is one swept node count.
+type SwarmScalePoint struct {
+	// N is the node count; Shards and Workers describe the engine.
+	N, Shards, Workers int
+	// LookaheadMicros is the conservative window length in µs.
+	LookaheadMicros float64
+	// Windows is the number of barrier windows of the W-worker run.
+	Windows int
+	// Events is the number of discrete events executed.
+	Events int
+	// Stats is the merged protocol tally (bit-identical at any worker
+	// count; verified against a 1-worker run before reporting).
+	Stats sim.SwarmStats
+	// CrossShardPct is the share of receptions that crossed the bus.
+	CrossShardPct float64
+	// WallSeconds1 and WallSecondsW are the 1-worker and W-worker run
+	// times (wall-time fields).
+	WallSeconds1, WallSecondsW float64
+	// EventsPerSec and RoundsPerSec are W-worker throughputs (wall).
+	EventsPerSec, RoundsPerSec float64
+	// Speedup is WallSeconds1 / WallSecondsW (wall).
+	Speedup float64
+}
+
+// SwarmScaleResult is the swarm scale sweep of the sharded parallel
+// engine: N-node city deployments (every 10th node an initiator running
+// the Sect. VIII combined scheme against the responders in range) are
+// simulated on the spatially sharded engine, once with 1 worker and once
+// with the full pool. The two runs must agree bit for bit — the sweep
+// fails otherwise — and the W-worker run's throughput is what the run
+// report carries as events_per_second.
+type SwarmScaleResult struct {
+	// Points holds one entry per swept N, ascending.
+	Points []SwarmScalePoint
+	// Workers is the pool size used for the W-worker runs.
+	Workers int
+}
+
+// swarmSizes is the full sweep ladder.
+var swarmSizes = []int{100, 1000, 10000, 100000}
+
+// SwarmScale runs the sweep.
+func SwarmScale(cfg SwarmScaleConfig) (*SwarmScaleResult, error) {
+	sizes := cfg.Sizes
+	if len(sizes) == 0 {
+		sizes = swarmSizes
+		if cfg.Trials > 0 {
+			maxN := 4000 * cfg.Trials
+			n := 0
+			for _, s := range sizes {
+				if s <= maxN {
+					n++
+				}
+			}
+			if n == 0 {
+				n = 1
+			}
+			sizes = sizes[:n]
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &SwarmScaleResult{Workers: workers}
+	m := newMeter(len(sizes))
+	defer m.finish()
+	for _, n := range sizes {
+		t0 := wallNow()
+		sw, err := sim.NewSwarm(sim.SwarmConfig{N: n, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("swarm N=%d: %w", n, err)
+		}
+		w1Start := wallNow()
+		ref, err := sw.RunSharded(1)
+		if err != nil {
+			return nil, fmt.Errorf("swarm N=%d workers=1: %w", n, err)
+		}
+		w1 := wallSince(w1Start).Seconds()
+		wStart := wallNow()
+		run, err := sw.RunSharded(workers)
+		if err != nil {
+			return nil, fmt.Errorf("swarm N=%d workers=%d: %w", n, workers, err)
+		}
+		wSecs := wallSince(wStart).Seconds()
+		// The determinism contract is a hard gate, not a statistic: a
+		// W-worker run that differs from the 1-worker run in any bit of
+		// the merged stats or the event count is a scheduling leak.
+		if run.Stats != ref.Stats || run.Events != ref.Events {
+			return nil, fmt.Errorf("swarm N=%d: %d-worker run diverged from 1-worker run\n  1: %s (%d events)\n  %d: %s (%d events)",
+				n, workers, ref.Stats, ref.Events, workers, run.Stats, run.Events)
+		}
+		sw.Record(recorder(), run)
+		addSwarmThroughput(run.Events, int(run.Stats.RoundsCompleted), wSecs)
+		pt := SwarmScalePoint{
+			N:               n,
+			Shards:          run.Shards,
+			Workers:         run.Workers,
+			LookaheadMicros: sw.Lookahead() * 1e6,
+			Windows:         run.Windows,
+			Events:          run.Events,
+			Stats:           run.Stats,
+			WallSeconds1:    w1,
+			WallSecondsW:    wSecs,
+		}
+		if run.Stats.Receptions > 0 {
+			pt.CrossShardPct = 100 * float64(run.Stats.CrossShardFrames) / float64(run.Stats.Receptions)
+		}
+		if wSecs > 0 {
+			pt.EventsPerSec = float64(run.Events) / wSecs
+			pt.RoundsPerSec = float64(run.Stats.RoundsCompleted) / wSecs
+		}
+		if wSecs > 0 && w1 > 0 {
+			pt.Speedup = w1 / wSecs
+		}
+		res.Points = append(res.Points, pt)
+		m.trialDone(wallSince(t0))
+	}
+	return res, nil
+}
+
+// Render formats the sweep. Every wall-derived column uses a fixed-width
+// format so the rendered byte count — which the run report records as
+// output_bytes, a determinism-gated field — does not vary run to run.
+func (r *SwarmScaleResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- Swarm scale: sharded city-scale concurrent ranging (%d workers) ---\n", r.Workers)
+	fmt.Fprintf(&b, "%8s %7s %10s %8s %9s %8s %8s %7s %8s %8s %10s %8s\n",
+		"N", "shards", "lookahead", "windows", "events", "rounds", "resolved", "xshard%", "err[m]", "wall[s]", "events/s", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %7d %8.1fµs %8d %9d %8d %8d %7.2f %8.3f %8.3f %10.3e %8.2f\n",
+			p.N, p.Shards, p.LookaheadMicros, p.Windows, p.Events,
+			p.Stats.RoundsCompleted, p.Stats.Resolved, p.CrossShardPct,
+			p.Stats.MeanAbsErr(), p.WallSecondsW, p.EventsPerSec, p.Speedup)
+	}
+	return b.String()
+}

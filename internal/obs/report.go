@@ -62,6 +62,14 @@ type ExperimentReport struct {
 	// experiment, when it ran one (wall-time-class field; 0 = not
 	// measured). reportcheck -compare gates on it like wall time.
 	CIRsPerSecond float64 `json:"cirs_per_second,omitempty"`
+	// EventsPerSecond is the sharded-engine event throughput measured by
+	// the experiment, when it ran a swarm simulation (wall-time-class
+	// field; 0 = not measured). reportcheck -compare gates on it like
+	// CIRsPerSecond.
+	EventsPerSecond float64 `json:"events_per_second,omitempty"`
+	// RoundsPerSecond is the matching ranging-round completion rate
+	// (wall-time-class field; 0 = not measured).
+	RoundsPerSecond float64 `json:"rounds_per_second,omitempty"`
 }
 
 // RuntimeStats is a small, stable subset of runtime.MemStats.
@@ -137,6 +145,8 @@ func (r *RunReport) StripWallTime() *RunReport {
 	for i, e := range r.Experiments {
 		e.WallSeconds = 0
 		e.CIRsPerSecond = 0
+		e.EventsPerSecond = 0
+		e.RoundsPerSecond = 0
 		out.Experiments[i] = e
 	}
 	m := Snapshot{}

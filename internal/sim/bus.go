@@ -1,0 +1,58 @@
+package sim
+
+import "slices"
+
+// busMessage is one cross-shard event in flight: a handler to run on a
+// destination shard at a future virtual time. src and seq identify the
+// sending shard and its per-run send counter; together with the delivery
+// time they define the total order in which the bus injects messages, so
+// delivery is independent of which worker finished its window first.
+type busMessage struct {
+	at  float64
+	src int32
+	seq uint64
+	dst int32
+	fn  Handler
+}
+
+// bus collects the cross-shard messages emitted during one barrier window
+// and injects them into the destination heaps in a deterministic order.
+// Within a window each shard appends to its own outbox (no locking); at
+// the barrier the single coordinating goroutine drains all outboxes here.
+type bus struct {
+	pending []busMessage
+}
+
+// collect moves a shard outbox into the bus. The outbox slice is reset in
+// place so its capacity is reused next window.
+func (b *bus) collect(outbox *[]busMessage) {
+	b.pending = append(b.pending, *outbox...)
+	*outbox = (*outbox)[:0]
+}
+
+// drain sorts the collected messages by (time, source shard, send seq) and
+// hands them to inject, then resets the bus. The sort key is a total order
+// — a source shard never reuses a seq — so injection order, and therefore
+// the destination heaps' tie-breaking seq numbers, are identical at any
+// worker count.
+func (b *bus) drain(inject func(busMessage)) {
+	slices.SortFunc(b.pending, func(x, y busMessage) int {
+		switch {
+		case x.at < y.at:
+			return -1
+		case x.at > y.at:
+			return 1
+		case x.src != y.src:
+			return int(x.src - y.src)
+		case x.seq < y.seq:
+			return -1
+		case x.seq > y.seq:
+			return 1
+		}
+		return 0
+	})
+	for _, m := range b.pending {
+		inject(m)
+	}
+	b.pending = b.pending[:0]
+}

@@ -70,6 +70,7 @@ type Network struct {
 	rng         *rand.Rand
 	seed        uint64
 	nodes       []*Node
+	nodeNames   map[string]bool
 	randomPhase bool
 	trace       func(TraceEvent)
 	stats       Stats
@@ -106,6 +107,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		phy:         phy,
 		rng:         rand.New(rand.NewPCG(cfg.Seed, 0x5eed)),
 		seed:        cfg.Seed,
+		nodeNames:   make(map[string]bool),
 		randomPhase: cfg.RandomClockPhase,
 	}, nil
 }
@@ -131,11 +133,12 @@ func (n *Network) AddNode(cfg NodeConfig) (*Node, error) {
 	if name == "" {
 		name = fmt.Sprintf("node%d", cfg.ID)
 	}
-	for _, existing := range n.nodes {
-		if existing.Name == name {
-			return nil, fmt.Errorf("sim: duplicate node name %q", name)
-		}
+	// The name index keeps AddNode O(1); the old per-add scan over all
+	// nodes made building an n-node network O(n²).
+	if n.nodeNames[name] {
+		return nil, fmt.Errorf("sim: duplicate node name %q", name)
 	}
+	n.nodeNames[name] = true
 	// Draw unconditionally so the RNG stream (and hence every downstream
 	// noise sample) is identical whether or not random phases are enabled.
 	draw := n.rng.Float64()

@@ -50,19 +50,6 @@ func TestNewNetworkDefaults(t *testing.T) {
 	}
 }
 
-func TestAddNodeDuplicateName(t *testing.T) {
-	net, _ := NewNetwork(NetworkConfig{})
-	if _, err := net.AddNode(NodeConfig{ID: 0, Name: "a"}); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := net.AddNode(NodeConfig{ID: 1, Name: "a"}); err == nil {
-		t.Fatal("duplicate name accepted")
-	}
-	if len(net.Nodes()) != 1 {
-		t.Fatalf("%d nodes", len(net.Nodes()))
-	}
-}
-
 func TestRandomClockPhaseKeepsRNGStreamStable(t *testing.T) {
 	// The same seed must produce the same node radios (noise streams)
 	// whether or not random phases are on.

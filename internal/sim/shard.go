@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/geom"
+)
+
+// GridPartition assigns positions in the floor plane to spatial shards: a
+// rectangular grid of square cells over a bounding box, row-major. It is
+// the sharding coordinator of the parallel engine — every node is owned
+// by the shard of its home cell, and ownership never changes during a run
+// (a mobile node that walks into a neighboring cell keeps executing on
+// its home shard; only the conservative lookahead math cares about actual
+// distances).
+type GridPartition struct {
+	// Origin is the lower-left corner of the grid.
+	Origin geom.Point
+	// Cell is the square cell side in meters.
+	Cell float64
+	// Cols and Rows are the grid dimensions.
+	Cols, Rows int
+}
+
+// NewGridPartition builds a grid covering the axis-aligned bounding box
+// [lo, hi] with cells of the given side. The box is grown to a whole
+// number of cells; positions outside it clamp to the border cells.
+func NewGridPartition(lo, hi geom.Point, cell float64) (GridPartition, error) {
+	if cell <= 0 {
+		return GridPartition{}, fmt.Errorf("sim: grid cell %g must be positive", cell)
+	}
+	if hi.X < lo.X || hi.Y < lo.Y {
+		return GridPartition{}, fmt.Errorf("sim: inverted grid bounds %v..%v", lo, hi)
+	}
+	cols := int(math.Ceil((hi.X - lo.X) / cell))
+	rows := int(math.Ceil((hi.Y - lo.Y) / cell))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return GridPartition{Origin: lo, Cell: cell, Cols: cols, Rows: rows}, nil
+}
+
+// Shards returns the number of shards (grid cells).
+func (g GridPartition) Shards() int { return g.Cols * g.Rows }
+
+// ShardOf maps a position to its owning shard. Positions outside the grid
+// clamp to the nearest border cell, so the mapping is total.
+func (g GridPartition) ShardOf(p geom.Point) int {
+	col := int((p.X - g.Origin.X) / g.Cell)
+	row := int((p.Y - g.Origin.Y) / g.Cell)
+	if col < 0 {
+		col = 0
+	}
+	if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	return row*g.Cols + col
+}
