@@ -330,6 +330,7 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 	report = obs.NewRunReport("crbench", cfg.Seed, cfg.Trials)
 	experiments.TakeBatchThroughput() // discard any stale tally
 	experiments.TakeSwarmThroughput()
+	experiments.TakeEngineProfile()
 	start := time.Now()
 	for i, name := range names {
 		printer.setLabel(name)
@@ -352,6 +353,13 @@ func run(names []string, cfg runConfig) (report *obs.RunReport, err error) {
 		if events, rounds, secs := experiments.TakeSwarmThroughput(); events > 0 && secs > 0 {
 			er.EventsPerSecond = float64(events) / secs
 			er.RoundsPerSecond = float64(rounds) / secs
+		}
+		if prof := experiments.TakeEngineProfile(); prof != nil {
+			er.EngineParallelEfficiency = prof.ParallelEfficiency
+			er.EngineBarrierStallPct = prof.BarrierStallPct
+			er.EngineDrainPct = prof.DrainPct
+			er.EngineCriticalShard = prof.CriticalShard
+			er.EngineCriticalShardPct = 100 * prof.CriticalShardShare
 		}
 		report.Experiments = append(report.Experiments, er)
 		fmt.Fprint(tableW, out)

@@ -29,6 +29,19 @@
 // -swarm-workers sets the worker count (0 = GOMAXPROCS), -swarm-duration
 // the simulated horizon in seconds, and -swarm-verify re-runs the same
 // deployment single-worker and fails unless the results are bit-identical.
+// -tracefile and -pprof work in swarm mode too: rounds open swarm.round
+// flight-recorder spans crtrace can triage, and the debug server exposes
+// the live swarm/engine metrics crtop watches.
+//
+// -engine-profile attaches the sharded-engine execution profiler and
+// prints the scaling diagnosis (parallel efficiency, barrier-stall and
+// bus-drain breakdown, critical shard, per-worker occupancy);
+// -engine-timeline path additionally exports the barrier/worker timeline
+// as a Chrome trace (load in chrome://tracing or Perfetto). -swarm-report
+// path writes a machine-readable RunReport carrying the swarm metrics and
+// the engine diagnosis fields; profiling is observational, so the
+// stripped report is bit-identical with and without it (reportcheck
+// -require-deterministic verifies exactly that in CI).
 package main
 
 import (
@@ -40,6 +53,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/uwb-sim/concurrent-ranging/internal/experiments"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 	"github.com/uwb-sim/concurrent-ranging/internal/sim"
@@ -113,11 +127,26 @@ func run() (err error) {
 	swarmWorkers := flag.Int("swarm-workers", 0, "sharded engine worker count for -swarm (0 = GOMAXPROCS)")
 	swarmDuration := flag.Float64("swarm-duration", 0, "simulated horizon in seconds for -swarm (0 = default 0.2 s)")
 	swarmVerify := flag.Bool("swarm-verify", false, "also run -swarm with 1 worker and fail unless results are bit-identical")
+	engineProfile := flag.Bool("engine-profile", false, "attach the sharded-engine execution profiler to -swarm and print the scaling diagnosis")
+	engineTimeline := flag.String("engine-timeline", "", "export the -swarm barrier/worker timeline as a Chrome trace to this `file` (implies -engine-profile)")
+	swarmReport := flag.String("swarm-report", "", "write a machine-readable -swarm run report to this `path`")
 	flag.Var(&resps, "resp", "responder as ID:x,y (repeatable)")
 	flag.Parse()
 
 	if *swarmN > 0 {
-		return runSwarm(*swarmN, *swarmWorkers, *swarmDuration, *seed, *swarmVerify)
+		return runSwarm(swarmOptions{
+			n:            *swarmN,
+			workers:      *swarmWorkers,
+			duration:     *swarmDuration,
+			seed:         *seed,
+			verify:       *swarmVerify,
+			profile:      *engineProfile || *engineTimeline != "",
+			timelinePath: *engineTimeline,
+			reportPath:   *swarmReport,
+			traceFile:    *traceFile,
+			traceSample:  *traceSample,
+			pprofAddr:    *pprofAddr,
+		})
 	}
 
 	var sc *ranging.Scenario
@@ -220,39 +249,122 @@ func runRounds(session *ranging.Session, nResp, rounds int) error {
 	return nil
 }
 
+// swarmOptions collects the flag-derived swarm-mode settings.
+type swarmOptions struct {
+	n        int
+	workers  int
+	duration float64
+	seed     uint64
+	verify   bool
+	// profile attaches the engine execution profiler; timelinePath also
+	// exports the barrier/worker timeline as a Chrome trace.
+	profile      bool
+	timelinePath string
+	// reportPath writes a RunReport (tool "crsim", one "swarm"
+	// experiment) with the registry snapshot and engine diagnosis fields.
+	reportPath string
+	// traceFile/traceSample stream swarm.round flight-recorder spans.
+	traceFile   string
+	traceSample int
+	pprofAddr   string
+}
+
 // runSwarm simulates an N-node swarm on the sharded event engine and
 // prints a one-screen summary. With verify it re-runs the same
 // deployment single-worker and fails unless the merged stats and event
-// counts are bit-identical — the engine's determinism contract.
-func runSwarm(n, workers int, duration float64, seed uint64, verify bool) error {
-	cfg := sim.SwarmConfig{N: n, Seed: seed, Duration: duration}
+// counts are bit-identical — the engine's determinism contract, which an
+// attached profiler or flight recorder must not disturb.
+func runSwarm(opts swarmOptions) (err error) {
+	cfg := sim.SwarmConfig{N: opts.n, Seed: opts.seed, Duration: opts.duration}
 	sw, err := sim.NewSwarm(cfg)
 	if err != nil {
 		return err
 	}
+	workers := opts.workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	reg := obs.NewRegistry()
+	sw.SetRecorder(reg)
+	if opts.pprofAddr != "" {
+		dbg, derr := obs.ServeDebug(opts.pprofAddr, reg)
+		if derr != nil {
+			return fmt.Errorf("pprof: %w", derr)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "crsim: debug server on http://%s/debug/pprof/ (/metrics, /debug/metrics.json)\n", dbg.Addr)
+	}
+	if opts.traceFile != "" {
+		f, ferr := os.Create(opts.traceFile)
+		if ferr != nil {
+			return fmt.Errorf("tracefile: %w", ferr)
+		}
+		tr := trace.New(trace.Config{Writer: f, SampleEvery: opts.traceSample})
+		tr.SetMetrics(reg)
+		sw.SetFlightRecorder(tr)
+		defer func() {
+			ferr := tr.Flush()
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+			if ferr != nil && err == nil {
+				err = fmt.Errorf("tracefile: %w", ferr)
+			}
+			st := tr.Stats()
+			fmt.Fprintf(os.Stderr, "crsim: trace: %d events, %d/%d rounds sampled -> %s\n",
+				st.Events, st.RootSpans-st.SampledOut, st.RootSpans, opts.traceFile)
+		}()
+	}
+	var prof *sim.EngineProfiler
+	if opts.profile {
+		prof = sim.NewEngineProfiler(sim.EngineProfilerConfig{Recorder: reg})
+	}
 	start := time.Now()
-	res, err := sw.RunSharded(workers)
+	res, err := sw.RunShardedProfiled(workers, prof)
 	if err != nil {
 		return err
 	}
-	wall := time.Since(start).Seconds()
+	wall := time.Since(start)
 	fmt.Printf("swarm: %d nodes over %.0f × %.0f m, %d shards, lookahead %.1f µs\n",
-		n, sw.Side(), sw.Side(), sw.Shards(), sw.Lookahead()*1e6)
+		opts.n, sw.Side(), sw.Side(), sw.Shards(), sw.Lookahead()*1e6)
 	fmt.Printf("engine: %d workers, %d barrier windows, %d events in %.3f s (%.3g events/s)\n",
-		res.Workers, res.Windows, res.Events, wall, float64(res.Events)/wall)
+		res.Workers, res.Windows, res.Events, wall.Seconds(), float64(res.Events)/wall.Seconds())
 	st := res.Stats
 	fmt.Printf("rounds: %d started, %d completed (%d empty), %d cross-shard frames (%.2f%% of %d)\n",
 		st.RoundsStarted, st.RoundsCompleted, st.EmptyRounds,
 		st.CrossShardFrames, 100*float64(st.CrossShardFrames)/float64(max(st.Frames, 1)), st.Frames)
 	fmt.Printf("ranging: %d responses, %d resolved, %d slot collisions, %d busy skips, mean |err| %.3f m\n",
 		st.Responses, st.Resolved, st.SlotCollisions, st.BusySkips, st.MeanAbsErr())
-	if verify {
-		ref, err := sw.RunSharded(1)
-		if err != nil {
-			return fmt.Errorf("verify: %w", err)
+	var profile *sim.EngineProfile
+	if prof != nil {
+		profile = prof.Profile()
+		fmt.Print(profile.String())
+		if opts.timelinePath != "" {
+			f, ferr := os.Create(opts.timelinePath)
+			if ferr != nil {
+				return fmt.Errorf("engine-timeline: %w", ferr)
+			}
+			werr := prof.WriteChromeTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("engine-timeline: %w", werr)
+			}
+			fmt.Fprintf(os.Stderr, "crsim: engine timeline (%d slices) -> %s\n",
+				profile.TimelineSlices, opts.timelinePath)
+		}
+	}
+	if opts.verify {
+		// The reference run is bare: no recorder, flight recorder, or
+		// profiler — so the comparison also proves instrumentation is
+		// observational.
+		sw.SetRecorder(nil)
+		sw.SetFlightRecorder(nil)
+		ref, verr := sw.RunSharded(1)
+		sw.SetRecorder(reg)
+		if verr != nil {
+			return fmt.Errorf("verify: %w", verr)
 		}
 		if ref.Stats != res.Stats || ref.Events != res.Events {
 			return fmt.Errorf("verify: %d-worker run diverged from 1-worker reference:\n  %d workers: %s\n  1 worker:  %s",
@@ -260,5 +372,49 @@ func runSwarm(n, workers int, duration float64, seed uint64, verify bool) error 
 		}
 		fmt.Printf("verify: %d-worker run bit-identical to 1-worker reference\n", res.Workers)
 	}
+	if opts.reportPath != "" {
+		if rerr := writeSwarmReport(opts, reg, sw, res, profile, wall); rerr != nil {
+			return rerr
+		}
+	}
+	return nil
+}
+
+// writeSwarmReport assembles the swarm run's RunReport: the registry
+// snapshot (swarm tallies, live engine gauges, trace mirror when tracing),
+// one "swarm" experiment entry carrying throughput and — when profiled —
+// the engine diagnosis fields. The swarm run is one trial, recorded as
+// such so the report passes the same liveness checks campaign reports do.
+// Every profiler-only contribution is wall-time-class, so the stripped
+// report is bit-identical with and without -engine-profile.
+func writeSwarmReport(opts swarmOptions, reg *obs.Registry, sw *sim.Swarm, res *sim.SwarmResult, profile *sim.EngineProfile, wall time.Duration) error {
+	sw.Record(reg, res)
+	reg.Count(experiments.MetricTrials, 1)
+	reg.Observe(experiments.MetricTrialSeconds, wall.Seconds())
+	report := obs.NewRunReport("crsim", opts.seed, 1)
+	er := obs.ExperimentReport{
+		Name:        "swarm",
+		WallSeconds: wall.Seconds(),
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		er.EventsPerSecond = float64(res.Events) / secs
+		er.RoundsPerSecond = float64(res.Stats.RoundsCompleted) / secs
+	}
+	if profile != nil {
+		er.EngineParallelEfficiency = profile.ParallelEfficiency
+		er.EngineBarrierStallPct = profile.BarrierStallPct
+		er.EngineDrainPct = profile.DrainPct
+		er.EngineCriticalShard = profile.CriticalShard
+		er.EngineCriticalShardPct = 100 * profile.CriticalShardShare
+	}
+	report.Experiments = append(report.Experiments, er)
+	report.Finish(reg.Snapshot(), wall)
+	if err := report.Validate(); err != nil {
+		return fmt.Errorf("swarm-report: %w", err)
+	}
+	if err := report.WriteFile(opts.reportPath); err != nil {
+		return fmt.Errorf("swarm-report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "crsim: swarm report -> %s\n", opts.reportPath)
 	return nil
 }

@@ -259,6 +259,28 @@ func render(prev *obs.Snapshot, cur obs.Snapshot, dt float64, addr string) strin
 	}
 	b.WriteString("\n")
 
+	// Engine: the sharded-engine profiler's live gauges — barrier-window
+	// and bus progress, running parallel efficiency, swarm round volume,
+	// and one occupancy bar per worker slot.
+	if windows, ok := cur.GaugeValue(sim.MetricEngineWindowsLive); ok {
+		bus, _ := cur.GaugeValue(sim.MetricEngineBusLive)
+		fmt.Fprintf(&b, "Engine     windows %.0f   bus msgs %.0f", windows, bus)
+		if eff, ok := cur.GaugeValue(sim.MetricEngineEfficiencyLive); ok {
+			fmt.Fprintf(&b, "   efficiency %.1f%%", 100*eff)
+		}
+		if rounds := cur.CounterValue(sim.MetricSwarmRoundsLive); rounds > 0 {
+			fmt.Fprintf(&b, "   swarm rounds %d", rounds)
+		}
+		b.WriteString("\n")
+		for _, g := range cur.GaugeSeries(sim.MetricEngineWorkerOccupancyLive) {
+			if len(g.Labels) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s %s %5.1f%%\n",
+				labelString(g.Labels), bar(g.Value/100, 24), g.Value)
+		}
+	}
+
 	// Flight recorder: span/event volume, with the busiest span classes.
 	spans := cur.CounterSeries(trace.MetricSpans)
 	if len(spans) > 0 || cur.CounterValue(trace.MetricEvents) > 0 {

@@ -43,6 +43,12 @@ func populatedRegistry(t *testing.T) *obs.Registry {
 	reg.CounterVec(sim.MetricReceptionsByKind, "kind").With("concurrent").Add(40)
 	reg.CounterVec(ranging.MetricRounds, "outcome").With("ok").Add(39)
 	reg.CounterVec(ranging.MetricRounds, "outcome").With("error").Add(1)
+	reg.SetGauge(sim.MetricEngineWindowsLive, 12)
+	reg.SetGauge(sim.MetricEngineBusLive, 34)
+	reg.SetGauge(sim.MetricEngineEfficiencyLive, 0.625)
+	reg.GaugeVec(sim.MetricEngineWorkerOccupancyLive, "worker").With("0").Set(80)
+	reg.GaugeVec(sim.MetricEngineWorkerOccupancyLive, "worker").With("1").Set(45)
+	reg.Count(sim.MetricSwarmRoundsLive, 25)
 	return reg
 }
 
@@ -57,6 +63,8 @@ func TestRenderSections(t *testing.T) {
 		"worker=0:60", "worker=1:60",
 		"Sim        frames 160", "kind=concurrent 40",
 		"Ranging    found 111/120 (92.5%)", "outcome=error:1", "outcome=ok:39",
+		"Engine     windows 12   bus msgs 34   efficiency 62.5%   swarm rounds 25",
+		"worker=0", "80.0%", "worker=1", "45.0%",
 	} {
 		if !strings.Contains(frame, want) {
 			t.Fatalf("frame missing %q:\n%s", want, frame)

@@ -5,7 +5,9 @@
 // class — ok, missed-response, false-path, shape-misid, slot-collision,
 // round-error — printing a table with per-class counts and one exemplar
 // span ID, so a rare failure in a large campaign can be located and then
-// replayed with -span.
+// replayed with -span. Traces from crsim -swarm carry swarm.round spans
+// instead; those get a per-status tally (ok / slot-collision / empty)
+// with exemplar span IDs appended to the triage output.
 //
 // Usage:
 //
@@ -76,17 +78,21 @@ func run(path string, tol float64, spanID uint64, chromeOut string, failOnFindin
 		return dumpSpan(os.Stdout, events, spanID)
 	}
 	t := RunTriage(events, tol)
-	printTriage(os.Stdout, path, len(events), t)
+	printTriage(os.Stdout, path, len(events), t, CollectSwarm(events))
 	if failOnFindings && t.FailureCount() > 0 {
 		return fmt.Errorf("%d failure findings", t.FailureCount())
 	}
 	return nil
 }
 
-func printTriage(w *os.File, path string, events int, t *Triage) {
+func printTriage(w *os.File, path string, events int, t *Triage, sw *SwarmSummary) {
 	fmt.Fprintf(w, "%s: %d events, %d session rounds, %d findings\n\n",
 		path, events, t.Rounds, len(t.Findings))
 	if len(t.Findings) == 0 {
+		if sw.Rounds > 0 {
+			printSwarm(w, sw)
+			return
+		}
 		fmt.Fprintln(w, "no session.round spans found (was the trace written with -tracefile on a ranging run?)")
 		return
 	}
@@ -104,6 +110,22 @@ func printTriage(w *os.File, path string, events int, t *Triage) {
 	}
 	fmt.Fprintf(w, "\nfailures: %d of %d findings (replay one with -span ID)\n",
 		t.FailureCount(), len(t.Findings))
+	if sw.Rounds > 0 {
+		fmt.Fprintln(w)
+		printSwarm(w, sw)
+	}
+}
+
+// printSwarm renders the swarm.round status tally (crsim -swarm traces).
+func printSwarm(w *os.File, sw *SwarmSummary) {
+	fmt.Fprintf(w, "swarm rounds: %d sampled  (responses %d, resolved %d, slot collisions %d)\n",
+		sw.Rounds, sw.Responses, sw.Resolved, sw.Collisions)
+	for _, status := range sw.Statuses() {
+		fmt.Fprintf(w, "  %-16s %6d  exemplar span %d\n", status, sw.ByStatus[status], sw.Exemplar[status])
+	}
+	if sw.Unended > 0 {
+		fmt.Fprintf(w, "  %-16s %6d  (end events missing; ring buffer or truncated trace)\n", "unended", sw.Unended)
+	}
 }
 
 // dumpSpan prints every event belonging to the span tree rooted at id.

@@ -278,6 +278,60 @@ func (t *Triage) FailureCount() int {
 	return len(t.Findings) - len(t.byClass[ClassOK])
 }
 
+// SwarmSummary aggregates swarm.round spans (written by crsim -swarm with
+// -tracefile). Swarm rounds carry no per-responder ground truth, so they
+// get a status tally rather than a per-measurement triage.
+type SwarmSummary struct {
+	// Rounds is the number of swarm.round begin events seen.
+	Rounds int
+	// ByStatus counts ended rounds per end-status string.
+	ByStatus map[string]int
+	// Responses, Resolved, and Collisions are summed over ended rounds.
+	Responses, Resolved, Collisions int
+	// Unended counts rounds whose end event is missing (truncated trace).
+	Unended int
+	// Exemplar maps each status to the first span ID that ended with it.
+	Exemplar map[string]uint64
+}
+
+// Statuses returns the statuses present, sorted.
+func (s *SwarmSummary) Statuses() []string {
+	out := make([]string, 0, len(s.ByStatus))
+	for st := range s.ByStatus {
+		out = append(out, st)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CollectSwarm tallies swarm.round spans from a trace event stream.
+func CollectSwarm(events []trace.Event) *SwarmSummary {
+	s := &SwarmSummary{ByStatus: map[string]int{}, Exemplar: map[string]uint64{}}
+	open := map[uint64]bool{}
+	for _, ev := range events {
+		switch {
+		case ev.Phase == trace.PhaseBegin && ev.Name == trace.SpanSwarmRound:
+			s.Rounds++
+			open[ev.Span] = true
+		case ev.Phase == trace.PhaseEnd && open[ev.Span]:
+			delete(open, ev.Span)
+			status, _ := ev.Attrs[trace.AttrStatus].(string)
+			if status == "" {
+				status = "unknown"
+			}
+			s.ByStatus[status]++
+			if _, ok := s.Exemplar[status]; !ok {
+				s.Exemplar[status] = ev.Span
+			}
+			s.Responses += attrInt(ev.Attrs[trace.AttrResponses])
+			s.Resolved += attrInt(ev.Attrs[trace.AttrResolved])
+			s.Collisions += attrInt(ev.Attrs[trace.AttrCollisions])
+		}
+	}
+	s.Unended = len(open)
+	return s
+}
+
 // attrInt reads a numeric attribute that may arrive as a Go int (in
 // process) or a float64 (round-tripped through JSON).
 func attrInt(v any) int {

@@ -65,6 +65,60 @@ func TestTriageClassifiesInjectedFailures(t *testing.T) {
 	}
 }
 
+// TestCollectSwarm tallies handcrafted swarm.round spans, including one
+// with a missing end event (truncated trace) and JSON-shaped numeric
+// attributes (float64 after a round trip through the trace file).
+func TestCollectSwarm(t *testing.T) {
+	events := []trace.Event{
+		{Seq: 1, Span: 1, Phase: trace.PhaseBegin, Name: trace.SpanSwarmRound,
+			Attrs: trace.Attrs{trace.AttrNode: 10, trace.AttrRound: 0}},
+		{Seq: 2, Span: 1, Phase: trace.PhaseEnd,
+			Attrs: trace.Attrs{trace.AttrStatus: "ok", trace.AttrResponses: 3,
+				trace.AttrResolved: 3, trace.AttrCollisions: 0}},
+		{Seq: 3, Span: 2, Phase: trace.PhaseBegin, Name: trace.SpanSwarmRound,
+			Attrs: trace.Attrs{trace.AttrNode: 20, trace.AttrRound: 1}},
+		{Seq: 4, Span: 2, Phase: trace.PhaseEnd,
+			Attrs: trace.Attrs{trace.AttrStatus: "slot-collision",
+				trace.AttrResponses: float64(4), trace.AttrResolved: float64(2),
+				trace.AttrCollisions: float64(2)}},
+		{Seq: 5, Span: 3, Phase: trace.PhaseBegin, Name: trace.SpanSwarmRound,
+			Attrs: trace.Attrs{trace.AttrNode: 30, trace.AttrRound: 2}},
+		{Seq: 6, Span: 4, Phase: trace.PhaseBegin, Name: trace.SpanSwarmRound,
+			Attrs: trace.Attrs{trace.AttrNode: 40, trace.AttrRound: 3}},
+		{Seq: 7, Span: 4, Phase: trace.PhaseEnd,
+			Attrs: trace.Attrs{trace.AttrStatus: "empty"}},
+		// An unrelated span must not count.
+		{Seq: 8, Span: 5, Phase: trace.PhaseBegin, Name: trace.SpanSessionRound},
+		{Seq: 9, Span: 5, Phase: trace.PhaseEnd, Attrs: trace.Attrs{trace.AttrStatus: "ok"}},
+	}
+	s := CollectSwarm(events)
+	if s.Rounds != 4 {
+		t.Fatalf("rounds = %d, want 4", s.Rounds)
+	}
+	if s.Unended != 1 {
+		t.Errorf("unended = %d, want 1", s.Unended)
+	}
+	want := map[string]int{"ok": 1, "slot-collision": 1, "empty": 1}
+	for status, n := range want {
+		if s.ByStatus[status] != n {
+			t.Errorf("status %s = %d, want %d", status, s.ByStatus[status], n)
+		}
+	}
+	if len(s.ByStatus) != len(want) {
+		t.Errorf("statuses = %v, want %v", s.ByStatus, want)
+	}
+	if s.Responses != 7 || s.Resolved != 5 || s.Collisions != 2 {
+		t.Errorf("tallies = %d/%d/%d, want 7/5/2", s.Responses, s.Resolved, s.Collisions)
+	}
+	if s.Exemplar["slot-collision"] != 2 || s.Exemplar["ok"] != 1 {
+		t.Errorf("exemplars = %v", s.Exemplar)
+	}
+	got := s.Statuses()
+	if len(got) != 3 || got[0] != "empty" || got[1] != "ok" || got[2] != "slot-collision" {
+		t.Errorf("statuses order = %v, want sorted", got)
+	}
+}
+
 func TestClassifyTableCases(t *testing.T) {
 	truth2 := []TruthEntry{
 		{ID: 0, Slot: 0, Shape: 0, Dist: 5},

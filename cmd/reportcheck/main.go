@@ -15,6 +15,16 @@
 // matching each prefix — the gate that catches an instrumentation path
 // going silently unwired.
 //
+// -require-engine-profile fails any report in which no experiment carries
+// the sharded-engine scaling diagnosis (engine_parallel_efficiency and
+// friends, produced by the sim.EngineProfiler), or in which a diagnosis
+// is out of range: efficiency must be in (0, 1.2] (a hair above 1 absorbs
+// clock granularity on very short windows) and the stall/drain/critical-
+// shard percentages in [0, 100]. -min-engine-efficiency adds an optional
+// hard floor on parallel efficiency; it defaults to 0 (off) because
+// absolute efficiency depends on the host's core count — CI containers
+// are often single-CPU, where barrier stall is expected, not a defect.
+//
 // In -compare mode both reports are validated and the per-experiment wall
 // times of the experiments common to both are compared: the run fails if
 // any experiment in new.json took more than factor times (default 4) its
@@ -60,8 +70,10 @@ func main() {
 	maxQualityDrop := flag.Float64("max-quality-drop", 1, "fail when the detection success rate drops by more than this many percentage points")
 	requireDet := flag.Bool("require-deterministic", false, "fail unless all reports are byte-identical after StripWallTime")
 	requireMetrics := flag.String("require-metrics", "", "comma-separated metric-family name `prefixes` each report must carry")
+	requireEngine := flag.Bool("require-engine-profile", false, "fail unless each report carries an in-range sharded-engine scaling diagnosis")
+	minEfficiency := flag.Float64("min-engine-efficiency", 0, "with -require-engine-profile, fail when parallel efficiency is below this floor (0 = no floor)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: reportcheck [-require-metrics prefixes] report.json [report2.json ...]")
+		fmt.Fprintln(os.Stderr, "usage: reportcheck [-require-metrics prefixes] [-require-engine-profile] report.json [report2.json ...]")
 		fmt.Fprintln(os.Stderr, "       reportcheck -compare old.json new.json [-max-regress factor] [-max-quality-drop pp]")
 		fmt.Fprintln(os.Stderr, "       reportcheck -require-deterministic a.json b.json [more.json ...]")
 		flag.PrintDefaults()
@@ -103,6 +115,13 @@ func main() {
 		}
 		if *requireMetrics != "" {
 			if err := requireFamilies(path, *requireMetrics); err != nil {
+				fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
+				failed = true
+				continue
+			}
+		}
+		if *requireEngine {
+			if err := requireEngineProfile(path, *minEfficiency); err != nil {
 				fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
 				failed = true
 				continue
@@ -196,6 +215,56 @@ func requireFamilies(path, spec string) error {
 	if len(missing) > 0 {
 		sort.Strings(missing)
 		return fmt.Errorf("report has no metric families matching: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// requireEngineProfile fails unless at least one experiment carries the
+// sharded-engine scaling diagnosis and every diagnosis present is
+// internally sane: parallel efficiency in (0, 1.2] (the small overshoot
+// absorbs clock granularity on very short windows), barrier-stall and
+// bus-drain shares in [0, 100] %, and — when a critical shard is named —
+// its busy-time share in (0, 100] %. minEfficiency > 0 adds a hard
+// efficiency floor on top; absolute floors are host-dependent (a
+// single-CPU container stalls at barriers by construction), so the
+// default gate is the sanity envelope only.
+func requireEngineProfile(path string, minEfficiency float64) error {
+	r, err := obs.ReadReportFile(path)
+	if err != nil {
+		return err
+	}
+	profiled := 0
+	for _, e := range r.Experiments {
+		if e.EngineParallelEfficiency == 0 {
+			continue
+		}
+		profiled++
+		if e.EngineParallelEfficiency < 0 || e.EngineParallelEfficiency > 1.2 {
+			return fmt.Errorf("experiment %q engine_parallel_efficiency %g outside (0, 1.2]",
+				e.Name, e.EngineParallelEfficiency)
+		}
+		if e.EngineBarrierStallPct < 0 || e.EngineBarrierStallPct > 100 {
+			return fmt.Errorf("experiment %q engine_barrier_stall_pct %g outside [0, 100]",
+				e.Name, e.EngineBarrierStallPct)
+		}
+		if e.EngineDrainPct < 0 || e.EngineDrainPct > 100 {
+			return fmt.Errorf("experiment %q engine_drain_pct %g outside [0, 100]",
+				e.Name, e.EngineDrainPct)
+		}
+		if e.EngineCriticalShardPct < 0 || e.EngineCriticalShardPct > 100 {
+			return fmt.Errorf("experiment %q engine_critical_shard_pct %g outside [0, 100]",
+				e.Name, e.EngineCriticalShardPct)
+		}
+		if e.EngineParallelEfficiency < minEfficiency {
+			return fmt.Errorf("experiment %q engine_parallel_efficiency %g below floor %g",
+				e.Name, e.EngineParallelEfficiency, minEfficiency)
+		}
+		fmt.Printf("%s: engine profile %s: efficiency %.1f%%, stall %.1f%%, drain %.1f%%, critical shard %d (%.1f%%)\n",
+			path, e.Name, 100*e.EngineParallelEfficiency, e.EngineBarrierStallPct,
+			e.EngineDrainPct, e.EngineCriticalShard, e.EngineCriticalShardPct)
+	}
+	if profiled == 0 {
+		return fmt.Errorf("no experiment carries an engine profile (engine_parallel_efficiency is zero everywhere)")
 	}
 	return nil
 }

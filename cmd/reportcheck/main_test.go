@@ -337,6 +337,50 @@ func TestRequireFamilies(t *testing.T) {
 	}
 }
 
+func TestRequireEngineProfile(t *testing.T) {
+	profiled := func() *obs.RunReport {
+		r := liveReport()
+		r.Experiments[0].EngineParallelEfficiency = 0.42
+		r.Experiments[0].EngineBarrierStallPct = 58
+		r.Experiments[0].EngineDrainPct = 3.5
+		r.Experiments[0].EngineCriticalShard = 7
+		r.Experiments[0].EngineCriticalShardPct = 12
+		return r
+	}
+	if err := requireEngineProfile(writeReport(t, profiled()), 0); err != nil {
+		t.Fatalf("sane profile rejected: %v", err)
+	}
+	// The floor flag gates on top of the sanity envelope.
+	if err := requireEngineProfile(writeReport(t, profiled()), 0.4); err != nil {
+		t.Fatalf("profile above floor rejected: %v", err)
+	}
+	if err := requireEngineProfile(writeReport(t, profiled()), 0.5); err == nil ||
+		!strings.Contains(err.Error(), "below floor") {
+		t.Fatalf("err = %v, want efficiency-floor failure", err)
+	}
+	// An unprofiled report (all-zero engine fields) must fail the gate.
+	if err := requireEngineProfile(writeReport(t, liveReport()), 0); err == nil ||
+		!strings.Contains(err.Error(), "no experiment carries an engine profile") {
+		t.Fatalf("err = %v, want missing-profile failure", err)
+	}
+	// Out-of-envelope diagnoses fail even when present.
+	for name, mutate := range map[string]func(*obs.RunReport){
+		"efficiency above envelope": func(r *obs.RunReport) { r.Experiments[0].EngineParallelEfficiency = 1.5 },
+		"negative stall":            func(r *obs.RunReport) { r.Experiments[0].EngineBarrierStallPct = -1 },
+		"drain above 100":           func(r *obs.RunReport) { r.Experiments[0].EngineDrainPct = 101 },
+		"critical share above 100":  func(r *obs.RunReport) { r.Experiments[0].EngineCriticalShardPct = 120 },
+	} {
+		r := profiled()
+		mutate(r)
+		if err := requireEngineProfile(writeReport(t, r), 0); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := requireEngineProfile(filepath.Join(t.TempDir(), "missing.json"), 0); err == nil {
+		t.Fatal("missing report accepted")
+	}
+}
+
 func TestCheckRejectsGarbageFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "garbage.json")
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {

@@ -214,6 +214,33 @@ func TakeSwarmThroughput() (events, rounds int, seconds float64) {
 	return events, rounds, seconds
 }
 
+// engineTally holds the sharded-engine scaling diagnosis measured by the
+// most recent profiled run, for crbench to surface as the experiment's
+// engine_* report fields. Wall-derived, so those fields are
+// wall-time-class and StripWallTime zeroes them.
+var engineTally struct {
+	mu   sync.Mutex
+	prof *sim.EngineProfile
+}
+
+// addEngineProfile records the latest profiled run's diagnosis (the most
+// recent call wins; the swarm sweep profiles its largest point last).
+func addEngineProfile(p *sim.EngineProfile) {
+	engineTally.mu.Lock()
+	engineTally.prof = p
+	engineTally.mu.Unlock()
+}
+
+// TakeEngineProfile returns the latest engine diagnosis and resets the
+// tally (nil when no profiled run happened since the last take).
+func TakeEngineProfile() *sim.EngineProfile {
+	engineTally.mu.Lock()
+	p := engineTally.prof
+	engineTally.prof = nil
+	engineTally.mu.Unlock()
+	return p
+}
+
 // wallNow is this package's single sanctioned wall-clock read. Every
 // duration derived from it flows into progress callbacks or a *_seconds
 // field/metric, all of which StripWallTime removes from run reports, so

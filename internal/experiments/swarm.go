@@ -89,6 +89,7 @@ func SwarmScale(cfg SwarmScaleConfig) (*SwarmScaleResult, error) {
 	res := &SwarmScaleResult{Workers: workers}
 	m := newMeter(len(sizes))
 	defer m.finish()
+	rec := recorder()
 	for _, n := range sizes {
 		t0 := wallNow()
 		sw, err := sim.NewSwarm(sim.SwarmConfig{N: n, Seed: cfg.Seed})
@@ -101,12 +102,27 @@ func SwarmScale(cfg SwarmScaleConfig) (*SwarmScaleResult, error) {
 			return nil, fmt.Errorf("swarm N=%d workers=1: %w", n, err)
 		}
 		w1 := wallSince(w1Start).Seconds()
+		// The W-worker run is the instrumented one: live metrics, flight
+		// spans, and the engine profiler all attach here, and all three are
+		// observational — the divergence gate below still compares it
+		// bit-for-bit against the bare 1-worker reference.
+		sw.SetRecorder(rec)
+		sw.SetFlightRecorder(flight())
+		var prof *sim.EngineProfiler
+		if rec != nil {
+			prof = sim.NewEngineProfiler(sim.EngineProfilerConfig{Recorder: rec})
+		}
 		wStart := wallNow()
-		run, err := sw.RunSharded(workers)
+		run, err := sw.RunShardedProfiled(workers, prof)
 		if err != nil {
 			return nil, fmt.Errorf("swarm N=%d workers=%d: %w", n, workers, err)
 		}
 		wSecs := wallSince(wStart).Seconds()
+		sw.SetRecorder(nil)
+		sw.SetFlightRecorder(nil)
+		if prof != nil {
+			addEngineProfile(prof.Profile())
+		}
 		// The determinism contract is a hard gate, not a statistic: a
 		// W-worker run that differs from the 1-worker run in any bit of
 		// the merged stats or the event count is a scheduling leak.

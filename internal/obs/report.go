@@ -70,6 +70,20 @@ type ExperimentReport struct {
 	// RoundsPerSecond is the matching ranging-round completion rate
 	// (wall-time-class field; 0 = not measured).
 	RoundsPerSecond float64 `json:"rounds_per_second,omitempty"`
+	// EngineParallelEfficiency through EngineCriticalShardPct are the
+	// sharded-engine scaling diagnosis measured by an attached
+	// sim.EngineProfiler, when the experiment ran one (all
+	// wall-time-class fields; zero = not profiled). Efficiency is shard
+	// busy time over worker-pool capacity in [0, 1]; the stall and drain
+	// percentages break down where the remaining wall time went (barrier
+	// waits as a share of pool capacity, bus drains as a share of engine
+	// wall time); the critical shard is the busiest shard and its share of
+	// total busy time in percent.
+	EngineParallelEfficiency float64 `json:"engine_parallel_efficiency,omitempty"`
+	EngineBarrierStallPct    float64 `json:"engine_barrier_stall_pct,omitempty"`
+	EngineDrainPct           float64 `json:"engine_drain_pct,omitempty"`
+	EngineCriticalShard      int     `json:"engine_critical_shard,omitempty"`
+	EngineCriticalShardPct   float64 `json:"engine_critical_shard_pct,omitempty"`
 }
 
 // RuntimeStats is a small, stable subset of runtime.MemStats.
@@ -147,6 +161,11 @@ func (r *RunReport) StripWallTime() *RunReport {
 		e.CIRsPerSecond = 0
 		e.EventsPerSecond = 0
 		e.RoundsPerSecond = 0
+		e.EngineParallelEfficiency = 0
+		e.EngineBarrierStallPct = 0
+		e.EngineDrainPct = 0
+		e.EngineCriticalShard = 0
+		e.EngineCriticalShardPct = 0
 		out.Experiments[i] = e
 	}
 	m := Snapshot{}

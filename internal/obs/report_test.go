@@ -15,6 +15,8 @@ func sampleReport() *RunReport {
 	r := NewRunReport("crbench", 1, 5)
 	r.Experiments = append(r.Experiments, ExperimentReport{
 		Name: "sec5", WallSeconds: 1.5, OutputBytes: 100, CIRsPerSecond: 42.5,
+		EngineParallelEfficiency: 0.8, EngineBarrierStallPct: 20,
+		EngineDrainPct: 3, EngineCriticalShard: 7, EngineCriticalShardPct: 12.5,
 	})
 	r.Finish(reg.Snapshot(), 2*time.Second)
 	return r
@@ -69,6 +71,12 @@ func TestStripWallTime(t *testing.T) {
 	}
 	if s.Experiments[0].WallSeconds != 0 || s.Experiments[0].CIRsPerSecond != 0 {
 		t.Fatalf("experiment wall-time fields survive: %+v", s.Experiments[0])
+	}
+	// The engine-profiler diagnosis is wall-clock-derived scheduling noise:
+	// every field of it must be stripped.
+	if e := s.Experiments[0]; e.EngineParallelEfficiency != 0 || e.EngineBarrierStallPct != 0 ||
+		e.EngineDrainPct != 0 || e.EngineCriticalShard != 0 || e.EngineCriticalShardPct != 0 {
+		t.Fatalf("engine profile fields survive: %+v", e)
 	}
 	if _, ok := s.Metrics.HistogramByName("experiments.trial_seconds"); ok {
 		t.Fatal("wall-time metric survives the strip")

@@ -179,6 +179,19 @@ func (s Snapshot) GaugeValue(name string) (float64, bool) {
 	return 0, false
 }
 
+// GaugeSeries returns every gauge series of the named family, in
+// snapshot (label-sorted) order — e.g. one per worker for the engine
+// profiler's occupancy gauges.
+func (s Snapshot) GaugeSeries(name string) []GaugeSnapshot {
+	var out []GaugeSnapshot
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
 // HistogramByName returns the named histogram snapshot (the unlabeled
 // series when the family is labeled), or false.
 func (s Snapshot) HistogramByName(name string) (HistogramSnapshot, bool) {

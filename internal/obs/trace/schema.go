@@ -30,6 +30,21 @@ const (
 	// peak, per-template matched-filter scores, margin, accept/reject
 	// reason, and residual energy after subtraction.
 	EventDetectRound = "detect.round"
+	// SpanSwarmRound is one sim.Swarm concurrent-ranging round: an
+	// initiator's INIT and the slotted responses it provokes. Begin attrs
+	// carry the swarm seed, the initiating node, and the global round
+	// counter; end attrs carry the outcome (AttrStatus: ok, empty, or
+	// slot-collision) and the response/resolved/collision counts.
+	SpanSwarmRound = "swarm.round"
+	// SpanEngineCoordinator, SpanEngineWorker, SpanEngineWindow, and
+	// SpanEngineShard are the sharded-engine profiler's synthesized
+	// timeline spans (sim.EngineProfiler.WriteChromeTrace): one
+	// coordinator root carrying barrier-window child slices, and one root
+	// per worker-pool slot carrying that slot's shard-window executions.
+	SpanEngineCoordinator = "engine.coordinator"
+	SpanEngineWorker      = "engine.worker"
+	SpanEngineWindow      = "engine.window"
+	SpanEngineShard       = "engine.shard"
 )
 
 // Attribute keys shared across producers and crtrace. Per-responder ground
@@ -74,6 +89,18 @@ const (
 	AttrMarginDB     = "margin_db"
 	AttrScores       = "scores"
 	AttrResidualFrac = "residual_frac"
+	// Swarm-round keys: the initiating node and the round's response
+	// accounting (responses heard, resolved distinctly, lost to slot
+	// collisions).
+	AttrNode       = "node"
+	AttrResponses  = "responses"
+	AttrResolved   = "resolved"
+	AttrCollisions = "collisions"
+	// Engine-profiler timeline keys: worker-pool slot, shard index, and
+	// barrier-window index.
+	AttrWorker = "worker"
+	AttrShard  = "shard"
+	AttrWindow = "window"
 )
 
 // Detect-round accept/reject reasons and Detect stop reasons

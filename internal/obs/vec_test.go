@@ -167,6 +167,31 @@ func TestSnapshotSeriesOrderDeterministic(t *testing.T) {
 	}
 }
 
+func TestSnapshotGaugeSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetGauge("occ", 1) // unlabeled series of the same family
+	vec := reg.GaugeVec("occ", "worker")
+	vec.With("1").Set(30)
+	vec.With("0").Set(70)
+	got := reg.Snapshot().GaugeSeries("occ")
+	if len(got) != 3 {
+		t.Fatalf("%d series, want 3 (unlabeled + two workers)", len(got))
+	}
+	// Snapshot order: unlabeled first, then label-sorted.
+	if len(got[0].Labels) != 0 || got[0].Value != 1 {
+		t.Fatalf("first series = %+v, want unlabeled value 1", got[0])
+	}
+	if labelKey(got[1].Labels) != "worker=0" || got[1].Value != 70 {
+		t.Fatalf("second series = %+v, want worker=0 value 70", got[1])
+	}
+	if labelKey(got[2].Labels) != "worker=1" || got[2].Value != 30 {
+		t.Fatalf("third series = %+v, want worker=1 value 30", got[2])
+	}
+	if s := reg.Snapshot().GaugeSeries("absent"); s != nil {
+		t.Fatalf("absent family returned %+v", s)
+	}
+}
+
 func labelKey(labels []Label) string {
 	parts := make([]string, len(labels))
 	for i, l := range labels {

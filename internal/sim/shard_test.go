@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/geom"
+)
+
+// TestGridPartitionShardOfClamping pins the total mapping: positions on
+// and beyond every grid border clamp to the nearest border cell, so a
+// mobile node that roams outside its deployment box still has an owner.
+func TestGridPartitionShardOfClamping(t *testing.T) {
+	g, err := NewGridPartition(geom.Point{X: 0, Y: 0}, geom.Point{X: 100, Y: 100}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cols != 4 || g.Rows != 4 || g.Shards() != 16 {
+		t.Fatalf("grid = %dx%d (%d shards), want 4x4", g.Cols, g.Rows, g.Shards())
+	}
+	cases := []struct {
+		name string
+		p    geom.Point
+		want int
+	}{
+		{"interior first cell", geom.Point{X: 12.5, Y: 12.5}, 0},
+		{"interior last cell", geom.Point{X: 99, Y: 99}, 15},
+		{"cell boundary goes to upper cell", geom.Point{X: 25, Y: 0}, 1},
+		{"right edge clamps to last column", geom.Point{X: 100, Y: 50}, 2*4 + 3},
+		{"top edge clamps to last row", geom.Point{X: 50, Y: 100}, 3*4 + 2},
+		{"corner on both borders", geom.Point{X: 100, Y: 100}, 15},
+		{"negative x clamps to column 0", geom.Point{X: -5, Y: 60}, 2 * 4},
+		{"negative y clamps to row 0", geom.Point{X: 60, Y: -0.001}, 2},
+		{"far outside both clamps to origin cell", geom.Point{X: -1e9, Y: -1e9}, 0},
+		{"far outside both clamps to far corner", geom.Point{X: 1e9, Y: 1e9}, 15},
+		{"mixed overshoot", geom.Point{X: 1e9, Y: -1e9}, 3},
+	}
+	for _, tc := range cases {
+		if got := g.ShardOf(tc.p); got != tc.want {
+			t.Errorf("%s: ShardOf(%v) = %d, want %d", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestBusDrainEqualTimeTotalOrder pins the bus injection order as the
+// (time, source shard, send seq) total order, with explicit equal-time
+// cases: simultaneous messages from different shards order by source,
+// and within a source by send sequence — never by arrival order.
+func TestBusDrainEqualTimeTotalOrder(t *testing.T) {
+	fn := func(Scheduler) {}
+	// Arrival order is deliberately shuffled; every message at t=1 is an
+	// equal-time case.
+	arrivals := []busMessage{
+		{at: 1, src: 2, seq: 1, fn: fn},
+		{at: 2, src: 0, seq: 3, fn: fn},
+		{at: 1, src: 0, seq: 2, fn: fn},
+		{at: 1, src: 1, seq: 5, fn: fn},
+		{at: 0.5, src: 3, seq: 9, fn: fn},
+		{at: 1, src: 0, seq: 1, fn: fn},
+		{at: 1, src: 1, seq: 7, fn: fn},
+	}
+	var b bus
+	outbox := append([]busMessage(nil), arrivals...)
+	b.collect(&outbox)
+	if len(outbox) != 0 {
+		t.Fatal("collect did not reset the outbox")
+	}
+	type key struct {
+		at  float64
+		src int32
+		seq uint64
+	}
+	var got []key
+	b.drain(func(m busMessage) { got = append(got, key{m.at, m.src, m.seq}) })
+	want := []key{
+		{0.5, 3, 9},
+		{1, 0, 1},
+		{1, 0, 2},
+		{1, 1, 5},
+		{1, 1, 7},
+		{1, 2, 1},
+		{2, 0, 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d messages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("drain[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if len(b.pending) != 0 {
+		t.Fatal("drain did not reset the bus")
+	}
+}
+
+// TestShardedEqualTimeCrossShardExecution runs the same tie-break
+// end-to-end: two shards send to a third at the identical virtual time,
+// and the destination must execute them in (source shard, send seq)
+// order at every worker count.
+func TestShardedEqualTimeCrossShardExecution(t *testing.T) {
+	type tag struct{ src, n int }
+	for _, workers := range []int{1, 4} {
+		se, err := NewShardedEngine(ShardedConfig{Shards: 3, Workers: workers, Lookahead: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []tag
+		// Both source shards emit two sends to shard 2, all at t=1 (the
+		// exact window end, the earliest legal cross-shard time).
+		for _, src := range []int{0, 1} {
+			src := src
+			err := se.Schedule(src, 0, func(sc Scheduler) {
+				for n := 1; n <= 2; n++ {
+					n := n
+					if err := sc.Send(2, 1, func(Scheduler) {
+						order = append(order, tag{src, n})
+					}); err != nil {
+						sc.Fail(err)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := se.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := []tag{{0, 1}, {0, 2}, {1, 1}, {1, 2}}
+		if len(order) != len(want) {
+			t.Fatalf("workers=%d: executed %d events, want %d", workers, len(order), len(want))
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Errorf("workers=%d: execution[%d] = %+v, want %+v", workers, i, order[i], want[i])
+			}
+		}
+	}
+}

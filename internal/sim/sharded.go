@@ -103,6 +103,11 @@ type ShardedEngine struct {
 	err    error
 	failed atomic.Bool // mirrors err != nil for lock-free mid-window checks
 	bus    bus
+
+	// prof, when non-nil, observes the run (per-window/shard/worker wall
+	// timings). Profiling is observational only — results are bit-identical
+	// with and without it — and nil costs one pointer check per site.
+	prof *EngineProfiler
 }
 
 // shardScheduler is the Scheduler handed to handlers on one shard. It is a
@@ -148,6 +153,15 @@ func (se *ShardedEngine) Windows() int { return se.windows }
 
 // Lookahead returns the conservative window length in seconds.
 func (se *ShardedEngine) Lookahead() float64 { return se.lookahead }
+
+// SetProfiler attaches (or, with nil, detaches) an execution profiler.
+// Call before Run; attaching resets the profiler for this engine's shape.
+func (se *ShardedEngine) SetProfiler(p *EngineProfiler) {
+	se.prof = p
+	if p != nil {
+		p.attach(len(se.shards), se.workers)
+	}
+}
 
 // Schedule enqueues a seed event on a shard before the run starts.
 func (se *ShardedEngine) Schedule(shardID int, at float64, fn Handler) error {
@@ -195,11 +209,22 @@ func (se *ShardedEngine) Run() (int, error) {
 		}
 		end := start + se.lookahead
 		se.windowEnd = end
+		if se.prof != nil {
+			se.prof.beginWindow(se.windows, start, end)
+		}
 		se.runWindow(end)
 		se.windows++
+		if se.prof != nil {
+			se.prof.execDone()
+		}
 		// Barrier: collect outboxes in shard order and inject the window's
 		// cross-shard messages in (time, src, seq) order.
+		drained := 0
 		for i := range se.shards {
+			if se.prof != nil {
+				se.prof.shardOutbox(i, len(se.shards[i].outbox))
+			}
+			drained += len(se.shards[i].outbox)
 			se.bus.collect(&se.shards[i].outbox)
 		}
 		se.bus.drain(func(m busMessage) {
@@ -207,6 +232,9 @@ func (se *ShardedEngine) Run() (int, error) {
 				se.fail(err)
 			}
 		})
+		if se.prof != nil {
+			se.prof.endWindow(drained)
+		}
 	}
 	total := 0
 	for i := range se.shards {
@@ -231,9 +259,17 @@ func (se *ShardedEngine) runWindow(end float64) {
 	if workers > len(active) {
 		workers = len(active)
 	}
+	prof := se.prof
+	if prof != nil {
+		prof.windowWorkers(len(active), workers)
+	}
 	if workers <= 1 {
 		for _, sh := range active {
-			sh.runWindow(end)
+			if prof != nil {
+				prof.runShard(0, sh, end)
+			} else {
+				sh.runWindow(end)
+			}
 		}
 		return
 	}
@@ -241,16 +277,20 @@ func (se *ShardedEngine) runWindow(end float64) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(active) {
 					return
 				}
-				active[i].runWindow(end)
+				if prof != nil {
+					prof.runShard(w, active[i], end)
+				} else {
+					active[i].runWindow(end)
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -266,6 +306,11 @@ func (sh *shard) schedule(at float64, fn Handler) error {
 	}
 	sh.seq++
 	sh.q.push(event[Handler]{at: at, seq: sh.seq, fn: fn})
+	if p := sh.eng.prof; p != nil {
+		if n := sh.q.Len(); n > p.shards[sh.id].heapHW {
+			p.shards[sh.id].heapHW = n
+		}
+	}
 	return nil
 }
 

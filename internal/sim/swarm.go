@@ -12,6 +12,7 @@ import (
 	"github.com/uwb-sim/concurrent-ranging/internal/dw1000"
 	"github.com/uwb-sim/concurrent-ranging/internal/geom"
 	"github.com/uwb-sim/concurrent-ranging/internal/obs"
+	"github.com/uwb-sim/concurrent-ranging/internal/obs/trace"
 )
 
 // Metric names the swarm simulation records through a Recorder.
@@ -29,6 +30,14 @@ const (
 	// {outcome="resolved"}, {outcome="slot_collision"}, {outcome="busy"}.
 	// Recorded only when the Recorder supports labeled series.
 	MetricSwarmResponsesByOutcome = "sim.swarm_responses_by_outcome"
+	// MetricSwarmRoundsLive and MetricSwarmResponsesLive are the live
+	// in-run mirrors of the round/response tallies, recorded per event
+	// through handles SetRecorder pre-resolves once (never a label-tuple
+	// lookup on the hot path). They exist so crtop can watch a swarm run
+	// in flight; being wall-time-class (_live), StripWallTime drops them
+	// and the post-run Record tallies stay the determinism-checked truth.
+	MetricSwarmRoundsLive    = "sim.swarm_rounds" + obs.LiveMetricSuffix
+	MetricSwarmResponsesLive = "sim.swarm_responses" + obs.LiveMetricSuffix
 )
 
 // SwarmConfig describes a city-scale concurrent-ranging swarm: N nodes
@@ -235,9 +244,12 @@ type swarmNode struct {
 // swarmRound is one initiator round in flight. It is created on the
 // initiator's shard; arrivals are appended there too (RESP receptions run
 // on the initiator's shard), while responder-side handlers only read the
-// immutable init/k fields.
+// immutable init/k fields. The flight-recorder span is likewise touched
+// only by initiator-shard handlers (roundPrep and roundDone), whose
+// cross-window ordering the barrier guarantees.
 type swarmRound struct {
 	arrivals []swarmArrival
+	sp       *trace.Span
 	init     int32
 	k        uint32
 }
@@ -269,6 +281,20 @@ type Swarm struct {
 	shardStats  []SwarmStats
 	shardTraces [][]SwarmEvent
 	scratch     [][]uint16 // per-shard (slot, shape) occupancy scratch
+
+	// Flight recorder (SetFlightRecorder): nil disables; rounds open one
+	// root span each. Which rounds the tracer samples depends on Begin
+	// arrival order, so trace *content* is deterministic only at one
+	// worker; the simulation results stay bit-identical regardless.
+	flight *trace.Tracer
+
+	// Live metric handles (SetRecorder): pre-resolved once so the
+	// per-event hot path records through plain pointers, never a
+	// label-tuple map lookup. All nil when no recorder is attached.
+	liveRounds   *obs.Counter
+	liveResolved *obs.Counter
+	liveCollided *obs.Counter
+	liveBusy     *obs.Counter
 }
 
 // SwarmResult is the outcome of one swarm run.
@@ -424,6 +450,35 @@ func (s *Swarm) buildCandidates(roam float64) {
 	s.minSep = minSep
 }
 
+// SetFlightRecorder attaches (nil detaches) a flight recorder: every
+// initiator round opens one SpanSwarmRound root span carrying the seed,
+// initiating node and round counter, ended with the outcome and response
+// accounting, so crtrace can triage swarm failures like campaign ones.
+// Tracing is observational only — results stay bit-identical.
+func (s *Swarm) SetFlightRecorder(tr *trace.Tracer) { s.flight = tr }
+
+// SetRecorder attaches (nil detaches) a live metric recorder and
+// pre-resolves the per-event counter handles once (the VecSource idiom):
+// round completions and per-response outcomes tick _live counters through
+// plain pointers on the hot path, never a label-tuple map lookup. The
+// handles need the Registry/VecSource capabilities; a plain Recorder
+// leaves the live mirrors off. Post-run tallies still go through Record.
+func (s *Swarm) SetRecorder(rec obs.Recorder) {
+	s.liveRounds, s.liveResolved, s.liveCollided, s.liveBusy = nil, nil, nil, nil
+	if rec == nil {
+		return
+	}
+	if reg, ok := rec.(*obs.Registry); ok {
+		s.liveRounds = reg.Counter(MetricSwarmRoundsLive)
+	}
+	if vs, ok := rec.(obs.VecSource); ok {
+		vec := vs.CounterVec(MetricSwarmResponsesLive, "outcome")
+		s.liveResolved = vec.With("resolved")
+		s.liveCollided = vec.With("slot_collision")
+		s.liveBusy = vec.With("busy")
+	}
+}
+
 // Lookahead returns the derived conservative window length in seconds.
 func (s *Swarm) Lookahead() float64 { return s.lookahead }
 
@@ -532,6 +587,13 @@ func (s *Swarm) roundPrep(init int32, k uint32) Handler {
 			return
 		}
 		rd := &swarmRound{init: init, k: k}
+		if s.flight != nil {
+			rd.sp = s.flight.Begin(trace.SpanSwarmRound, trace.Attrs{
+				trace.AttrSeed:  s.cfg.Seed,
+				trace.AttrNode:  init,
+				trace.AttrRound: k,
+			})
+		}
 		inRange := 0
 		for _, ci := range s.cand[init] {
 			c := &s.nodes[ci]
@@ -550,6 +612,12 @@ func (s *Swarm) roundPrep(init int32, k uint32) Handler {
 		if inRange == 0 {
 			st.EmptyRounds++
 			st.RoundsCompleted++
+			if s.liveRounds != nil {
+				s.liveRounds.Inc()
+			}
+			if rd.sp.Recording() {
+				rd.sp.EndWith(trace.Attrs{trace.AttrStatus: "empty"})
+			}
 			return
 		}
 		if err := sc.Schedule(tTX+s.tailSlack, s.roundDone(rd)); err != nil {
@@ -574,6 +642,9 @@ func (s *Swarm) rxInit(rd *swarmRound, resp int32, cross bool) Handler {
 		rn := &s.nodes[resp]
 		if rn.busyUntil > now {
 			st.BusySkips++
+			if s.liveBusy != nil {
+				s.liveBusy.Inc()
+			}
 			return
 		}
 		// Requested delay, truncated by the 8 ns delayed-TX granularity
@@ -635,16 +706,38 @@ func (s *Swarm) roundDone(rd *swarmRound) Handler {
 		for _, a := range rd.arrivals {
 			occ[a.shape*numSlots+a.slot]++
 		}
+		resolved, collided := int64(0), int64(0)
 		for _, a := range rd.arrivals {
 			if occ[a.shape*numSlots+a.slot] == 1 {
-				st.Resolved++
+				resolved++
 				st.AbsErrSumM += math.Abs(a.estErr)
 			} else {
-				st.SlotCollisions++
+				collided++
 			}
 		}
+		st.Resolved += resolved
+		st.SlotCollisions += collided
 		for _, a := range rd.arrivals {
 			occ[a.shape*numSlots+a.slot] = 0
+		}
+		if s.liveRounds != nil {
+			s.liveRounds.Inc()
+		}
+		if s.liveResolved != nil {
+			s.liveResolved.Add(resolved)
+			s.liveCollided.Add(collided)
+		}
+		if rd.sp.Recording() {
+			status := "ok"
+			if collided > 0 {
+				status = "slot-collision"
+			}
+			rd.sp.EndWith(trace.Attrs{
+				trace.AttrStatus:     status,
+				trace.AttrResponses:  len(rd.arrivals),
+				trace.AttrResolved:   resolved,
+				trace.AttrCollisions: collided,
+			})
 		}
 	}
 }
@@ -717,6 +810,14 @@ func (s *Swarm) RunSequential() (*SwarmResult, error) {
 // count (0 selects GOMAXPROCS). The result is bit-identical to
 // RunSequential at any worker count.
 func (s *Swarm) RunSharded(workers int) (*SwarmResult, error) {
+	return s.RunShardedProfiled(workers, nil)
+}
+
+// RunShardedProfiled runs the swarm on the parallel engine with an
+// execution profiler attached (nil runs unprofiled — identical to
+// RunSharded). Profiling is observational: the result is bit-identical
+// with and without it.
+func (s *Swarm) RunShardedProfiled(workers int, p *EngineProfiler) (*SwarmResult, error) {
 	eng, err := NewShardedEngine(ShardedConfig{
 		Shards:    s.part.Shards(),
 		Workers:   workers,
@@ -725,6 +826,7 @@ func (s *Swarm) RunSharded(workers int) (*SwarmResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.SetProfiler(p)
 	res, err := s.Run(eng)
 	if err != nil {
 		return nil, err
