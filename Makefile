@@ -20,14 +20,17 @@ vet:
 	$(GO) vet ./...
 
 # The full static-analysis gate: the project-specific contract analyzers
-# (cmd/crlint: detrand, nilinstr, bufalias, unitconv — DESIGN.md §12),
-# go vet, and the pinned staticcheck. staticcheck is the only tool not
-# shipped with the Go toolchain; when it is not installed the step is
-# skipped with a notice instead of failing, so offline checkouts still
-# get the crlint + vet gate. CI installs the pinned version and runs all
-# three.
+# (cmd/crlint: detrand, nilinstr, bufalias, unitconv, shardsafe,
+# wallclass, hotlabel, atomiclock — DESIGN.md §12 and §17), the
+# suppression audit (every //lint:allow must be justified and still
+# suppressing a live finding), go vet, and the pinned staticcheck.
+# staticcheck is the only tool not shipped with the Go toolchain; when
+# it is not installed the step is skipped with a notice instead of
+# failing, so offline checkouts still get the crlint + vet gate. CI
+# installs the pinned version and runs all of them.
 lint:
 	$(GO) run ./cmd/crlint
+	$(GO) run ./cmd/crlint -audit
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \

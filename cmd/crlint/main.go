@@ -1,22 +1,30 @@
 // Command crlint is the repository's project-specific static-analysis
-// suite: a multichecker over the four contract analyzers (detrand,
-// nilinstr, bufalias, unitconv — see DESIGN.md §12) built on the standard
+// suite: a multichecker over the eight contract analyzers (detrand,
+// nilinstr, bufalias, unitconv, shardsafe, wallclass, hotlabel,
+// atomiclock — see DESIGN.md §12 and §17) built on the standard
 // library's go/types so it needs nothing beyond the Go toolchain.
 //
 // Usage:
 //
-//	crlint [-list] [package dir ...]
+//	crlint [-list] [-json] [-audit] [package dir ...]
 //
 // With no arguments every package of the module is checked; each analyzer
 // runs only on the packages whose contract it enforces. Diagnostics print
-// as file:line:col: analyzer: message; any diagnostic exits 1. Individual
-// findings can be waived with a justified suppression comment on the
-// offending line:
+// as file:line:col: analyzer: message (or as a JSON array with -json);
+// any diagnostic exits 1. Individual findings can be waived with a
+// justified suppression comment on the offending line:
 //
 //	t0 := time.Now() //lint:allow detrand feeds a StripWallTime-stripped field
+//
+// The -audit mode inventories every //lint:allow directive in the module
+// with its justification and whether it still suppresses a finding; a
+// directive without a justification, or one that no longer matches any
+// diagnostic (stale), exits 1. CI runs the audit so the waiver list can
+// only shrink without review.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,9 +37,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	auditMode := flag.Bool("audit", false, "inventory //lint:allow directives; fail on unjustified or stale ones")
 	moduleDir := flag.String("C", ".", "module root directory")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: crlint [-list] [-C moduledir] [package dir ...]")
+		fmt.Fprintln(os.Stderr, "usage: crlint [-list] [-json] [-audit] [-C moduledir] [package dir ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,7 +51,19 @@ func main() {
 		}
 		return
 	}
-	n, err := run(*moduleDir, flag.Args(), os.Stdout)
+	if *auditMode {
+		bad, err := audit(*moduleDir, os.Stdout, *asJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
+			os.Exit(2)
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "crlint: %d bad suppression(s)\n", bad)
+			os.Exit(1)
+		}
+		return
+	}
+	n, err := run(*moduleDir, flag.Args(), os.Stdout, *asJSON)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
 		os.Exit(2)
@@ -52,18 +74,20 @@ func main() {
 	}
 }
 
+// jsonDiag is the -json wire form of one diagnostic; CI turns these into
+// source-anchored annotations.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // run lints the requested package directories (all module packages when
-// none are given) and returns the number of diagnostics printed.
-func run(moduleDir string, dirs []string, out io.Writer) (int, error) {
-	root, err := findModuleRoot(moduleDir)
-	if err != nil {
-		return 0, err
-	}
-	loader, err := lint.NewLoader(root)
-	if err != nil {
-		return 0, err
-	}
-	targets, err := loader.Targets()
+// none are given) and returns the number of diagnostics emitted.
+func run(moduleDir string, dirs []string, out io.Writer, asJSON bool) (int, error) {
+	root, loader, targets, err := loadTargets(moduleDir)
 	if err != nil {
 		return 0, err
 	}
@@ -84,7 +108,7 @@ func run(moduleDir string, dirs []string, out io.Writer) (int, error) {
 		}
 		targets = filtered
 	}
-	total := 0
+	found := []jsonDiag{}
 	for _, t := range targets {
 		applicable := analyzers.Applicable(t.Path, t.Imports)
 		if len(applicable) == 0 {
@@ -92,19 +116,117 @@ func run(moduleDir string, dirs []string, out io.Writer) (int, error) {
 		}
 		pass, err := loader.LoadDir(t.Dir)
 		if err != nil {
-			return total, err
+			return len(found), err
 		}
 		for _, d := range lint.RunAnalyzers(pass, applicable) {
 			pos := loader.Fset.Position(d.Pos)
-			file := pos.Filename
-			if rel, err := filepath.Rel(root, file); err == nil {
-				file = rel
-			}
-			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
-			total++
+			found = append(found, jsonDiag{
+				File:     relTo(root, pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
 	}
-	return total, nil
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(found); err != nil {
+			return len(found), err
+		}
+		return len(found), nil
+	}
+	for _, d := range found {
+		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	}
+	return len(found), nil
+}
+
+// jsonSup is the -audit -json wire form of one suppression directive.
+type jsonSup struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Analyzer      string `json:"analyzer"`
+	Justification string `json:"justification"`
+	Used          bool   `json:"used"`
+}
+
+// audit inventories every //lint:allow directive in the module and
+// returns the number of bad ones: directives without a justification and
+// justified directives that no longer suppress any finding (stale). It
+// loads every package — including those no analyzer applies to — so a
+// directive left behind in unanalyzed code is still caught as stale.
+func audit(moduleDir string, out io.Writer, asJSON bool) (int, error) {
+	root, loader, targets, err := loadTargets(moduleDir)
+	if err != nil {
+		return 0, err
+	}
+	sups := []jsonSup{}
+	bad := 0
+	for _, t := range targets {
+		pass, err := loader.LoadDir(t.Dir)
+		if err != nil {
+			return bad, err
+		}
+		_, ss := lint.AuditAnalyzers(pass, analyzers.Applicable(t.Path, t.Imports))
+		for _, s := range ss {
+			sups = append(sups, jsonSup{
+				File:          relTo(root, s.File),
+				Line:          s.Line,
+				Analyzer:      s.Analyzer,
+				Justification: s.Justification,
+				Used:          s.Used,
+			})
+			if !s.Justified() || !s.Used {
+				bad++
+			}
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sups); err != nil {
+			return bad, err
+		}
+		return bad, nil
+	}
+	for _, s := range sups {
+		switch {
+		case s.Justification == "":
+			fmt.Fprintf(out, "%s:%d: %s: UNJUSTIFIED\n", s.File, s.Line, s.Analyzer)
+		case !s.Used:
+			fmt.Fprintf(out, "%s:%d: %s: STALE: %s\n", s.File, s.Line, s.Analyzer, s.Justification)
+		default:
+			fmt.Fprintf(out, "%s:%d: %s: %s\n", s.File, s.Line, s.Analyzer, s.Justification)
+		}
+	}
+	return bad, nil
+}
+
+// loadTargets resolves the module root and enumerates its packages.
+func loadTargets(moduleDir string) (string, *lint.Loader, []lint.Target, error) {
+	root, err := findModuleRoot(moduleDir)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	targets, err := loader.Targets()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return root, loader, targets, nil
+}
+
+// relTo rewrites file as root-relative when possible, for stable output.
+func relTo(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil {
+		return rel
+	}
+	return file
 }
 
 // findModuleRoot walks up from dir to the directory holding go.mod.

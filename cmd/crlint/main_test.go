@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"testing"
 )
@@ -16,7 +17,7 @@ func TestSelfRunClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	n, err := run(root, nil, &buf)
+	n, err := run(root, nil, &buf, false)
 	if err != nil {
 		t.Fatalf("crlint run: %v", err)
 	}
@@ -33,12 +34,90 @@ func TestRunSingleDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	n, err := run(root, []string{filepath.Join(root, "internal", "dw1000")}, &buf)
+	n, err := run(root, []string{filepath.Join(root, "internal", "dw1000")}, &buf, false)
 	if err != nil {
 		t.Fatalf("crlint run: %v", err)
 	}
 	if n != 0 {
 		t.Errorf("crlint found %d diagnostic(s) in internal/dw1000:\n%s", n, buf.String())
+	}
+}
+
+// TestRunJSON pins the -json contract CI depends on: the output is a
+// well-formed JSON array of diagnostics even when the array is empty, so
+// the annotation step can always parse it.
+func TestRunJSON(t *testing.T) {
+	root, err := findModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := run(root, []string{filepath.Join(root, "internal", "dw1000")}, &buf, true)
+	if err != nil {
+		t.Fatalf("crlint run: %v", err)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(diags) != n {
+		t.Errorf("run returned %d diagnostics but emitted %d", n, len(diags))
+	}
+}
+
+// TestAuditClean audits the repository's suppression inventory: every
+// //lint:allow directive in the tree must carry a justification and
+// still suppress a live finding. A stale or bare directive fails here
+// before it fails in CI.
+func TestAuditClean(t *testing.T) {
+	root, err := findModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bad, err := audit(root, &buf, false)
+	if err != nil {
+		t.Fatalf("crlint audit: %v", err)
+	}
+	if bad != 0 {
+		t.Errorf("crlint audit found %d bad suppression(s):\n%s", bad, buf.String())
+	}
+	if buf.Len() == 0 {
+		t.Error("crlint audit listed no suppressions; the repository is known to carry justified ones")
+	}
+}
+
+// TestAuditJSON checks the machine-readable audit listing: every entry
+// is justified and used, and the known detrand waivers appear.
+func TestAuditJSON(t *testing.T) {
+	root, err := findModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bad, err := audit(root, &buf, true)
+	if err != nil {
+		t.Fatalf("crlint audit: %v", err)
+	}
+	if bad != 0 {
+		t.Errorf("crlint audit found %d bad suppression(s)", bad)
+	}
+	var sups []jsonSup
+	if err := json.Unmarshal(buf.Bytes(), &sups); err != nil {
+		t.Fatalf("-audit -json output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	byAnalyzer := map[string]int{}
+	for _, s := range sups {
+		byAnalyzer[s.Analyzer]++
+		if s.Justification == "" {
+			t.Errorf("%s:%d: %s suppression has no justification", s.File, s.Line, s.Analyzer)
+		}
+		if !s.Used {
+			t.Errorf("%s:%d: %s suppression is stale", s.File, s.Line, s.Analyzer)
+		}
+	}
+	if byAnalyzer["detrand"] == 0 {
+		t.Errorf("audit listed no detrand suppressions, want the known instrument/profile waivers; got %v", byAnalyzer)
 	}
 }
 

@@ -177,7 +177,7 @@ func render(prev *obs.Snapshot, cur obs.Snapshot, dt float64, addr string) strin
 	}
 	line := fmt.Sprintf("  trials %d", trials)
 	if w, ok := cur.WindowByName(experiments.MetricTrials); ok {
-		line += fmt.Sprintf("   %s trials/s (%.0fs window)", fmtRate(w.SumRate), windowSpan(w))
+		line += fmt.Sprintf("   %s trials/s (%.0fs window)", fmtRate(w.SumRatePerSecond), windowSpan(w))
 	}
 	if r, ok := deltaRate(prev, cur, experiments.MetricTrials, dt); ok {
 		line += fmt.Sprintf("   %s trials/s (now)", fmtRate(r))
@@ -188,11 +188,11 @@ func render(prev *obs.Snapshot, cur obs.Snapshot, dt float64, addr string) strin
 	b.WriteString("Throughput")
 	any := false
 	if w, ok := cur.WindowByName(core.MetricBatchCIRs); ok {
-		fmt.Fprintf(&b, "   batch %s CIRs/s", fmtRate(w.SumRate))
+		fmt.Fprintf(&b, "   batch %s CIRs/s", fmtRate(w.SumRatePerSecond))
 		any = true
 	}
 	if w, ok := cur.WindowByName(core.MetricDetectCalls); ok {
-		fmt.Fprintf(&b, "   detect %s calls/s", fmtRate(w.SumRate))
+		fmt.Fprintf(&b, "   detect %s calls/s", fmtRate(w.SumRatePerSecond))
 		any = true
 	}
 	if !any {

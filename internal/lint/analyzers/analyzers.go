@@ -11,6 +11,16 @@
 //     escape into struct fields or return values.
 //   - unitconv: unit arithmetic goes through the named conversion
 //     constants and types, not re-derived magic literals.
+//   - shardsafe: handler/worker code touches per-shard and per-worker
+//     slot arrays only through the owning shard/worker index, and slot
+//     references never escape the owning context (DESIGN.md §17).
+//   - wallclass: every wall-time-class report field is zeroed by
+//     StripWallTime, json tags and Go names agree on wall-class naming,
+//     and _live metric names are spelled via obs.LiveMetricSuffix.
+//   - hotlabel: metric-vector label resolution (.With, *Vec family
+//     lookups) happens in setup functions, never per event.
+//   - atomiclock: mutex-guarded fields are not read outside the guard and
+//     legacy sync/atomic fields are never accessed non-atomically.
 //
 // Analyzers are package-path agnostic; Applicable owns the mapping from
 // repository layout to the analyzers that run there, so test fixtures can
@@ -34,6 +44,7 @@ const (
 	obsPath   = module + "/internal/obs"
 	tracePath = module + "/internal/obs/trace"
 	dspPath   = module + "/internal/dsp"
+	simPath   = module + "/internal/sim"
 )
 
 // deterministicPkgs are the packages whose outputs must be bit-identical
@@ -61,9 +72,45 @@ var unitconvPkgs = []string{
 	"internal/geom",
 }
 
+// shardsafePkgs are the packages with sharded/worker execution contexts
+// whose slot arrays obey the owner-index discipline.
+var shardsafePkgs = []string{
+	"internal/sim",
+}
+
+// wallclassPkgs are the packages defining or populating reports whose
+// wall-time-class fields StripWallTime must erase.
+var wallclassPkgs = []string{
+	"internal/obs",
+	"internal/sim",
+	"internal/experiments",
+	"internal/core",
+	"ranging",
+}
+
+// hotlabelPkgs are the hot-path packages where metric-vector label
+// resolution must be hoisted into setup functions.
+var hotlabelPkgs = []string{
+	"internal/core",
+	"internal/sim",
+	"internal/experiments",
+	"internal/obs/trace",
+	"ranging",
+}
+
+// atomiclockPkgs are the packages mixing mutexes and atomics whose field
+// access discipline atomiclock checks.
+var atomiclockPkgs = []string{
+	"internal/sim",
+	"internal/obs",
+	"internal/obs/trace",
+	"internal/experiments",
+	"internal/core",
+}
+
 // All returns every analyzer in the suite.
 func All() []*lint.Analyzer {
-	return []*lint.Analyzer{Detrand, Nilinstr, Bufalias, Unitconv}
+	return []*lint.Analyzer{Detrand, Nilinstr, Bufalias, Unitconv, Shardsafe, Wallclass, Hotlabel, Atomiclock}
 }
 
 // Applicable returns the analyzers that run on the package at pkgPath
@@ -87,6 +134,18 @@ func Applicable(pkgPath string, imports []string) []*lint.Analyzer {
 	}
 	if matchesAny(pkgPath, unitconvPkgs) {
 		out = append(out, Unitconv)
+	}
+	if matchesAny(pkgPath, shardsafePkgs) {
+		out = append(out, Shardsafe)
+	}
+	if matchesAny(pkgPath, wallclassPkgs) {
+		out = append(out, Wallclass)
+	}
+	if matchesAny(pkgPath, hotlabelPkgs) {
+		out = append(out, Hotlabel)
+	}
+	if matchesAny(pkgPath, atomiclockPkgs) {
+		out = append(out, Atomiclock)
 	}
 	return out
 }

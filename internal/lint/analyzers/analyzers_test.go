@@ -25,6 +25,22 @@ func TestUnitconv(t *testing.T) {
 	linttest.Run(t, "testdata/unitconv", analyzers.Unitconv)
 }
 
+func TestShardsafe(t *testing.T) {
+	linttest.Run(t, "testdata/shardsafe", analyzers.Shardsafe)
+}
+
+func TestWallclass(t *testing.T) {
+	linttest.Run(t, "testdata/wallclass", analyzers.Wallclass)
+}
+
+func TestHotlabel(t *testing.T) {
+	linttest.Run(t, "testdata/hotlabel", analyzers.Hotlabel)
+}
+
+func TestAtomiclock(t *testing.T) {
+	linttest.Run(t, "testdata/atomiclock", analyzers.Atomiclock)
+}
+
 // TestSuppression checks the //lint:allow contract: a justified
 // suppression silences its analyzer on its line (or the line below a
 // directive on its own line), an unjustified one is itself reported and
@@ -66,12 +82,15 @@ func TestApplicable(t *testing.T) {
 		imports []string
 		want    []string
 	}{
-		{module + "/internal/core", []string{module + "/internal/dsp"}, []string{"detrand", "nilinstr", "bufalias"}},
+		{module + "/internal/core", []string{module + "/internal/dsp"}, []string{"detrand", "nilinstr", "bufalias", "wallclass", "hotlabel", "atomiclock"}},
 		{module + "/internal/dsp", nil, []string{"detrand", "nilinstr"}},
-		{module + "/internal/experiments", []string{module + "/internal/dsp"}, []string{"detrand", "bufalias"}},
+		{module + "/internal/experiments", []string{module + "/internal/dsp"}, []string{"detrand", "bufalias", "wallclass", "hotlabel", "atomiclock"}},
 		{module + "/internal/dw1000", nil, []string{"unitconv"}},
 		{module + "/internal/geom", nil, []string{"unitconv"}},
-		{module + "/internal/obs", nil, nil},
+		{module + "/internal/sim", nil, []string{"detrand", "shardsafe", "wallclass", "hotlabel", "atomiclock"}},
+		{module + "/internal/obs", nil, []string{"wallclass", "atomiclock"}},
+		{module + "/internal/obs/trace", nil, []string{"hotlabel", "atomiclock"}},
+		{module + "/ranging", nil, []string{"wallclass", "hotlabel"}},
 		{module + "/cmd/crbench", []string{"flag"}, nil},
 	}
 	for _, c := range cases {

@@ -1,0 +1,399 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+)
+
+// Shardsafe enforces the sharded engine's slot-ownership discipline
+// (DESIGN.md §17). Handler and worker code runs concurrently with its
+// peers; the only shared mutable state it may touch directly is its own
+// slot of a per-shard/per-worker slot array — a slice indexed by the
+// owning shard or worker id. Everything else crosses shards through the
+// bus (Scheduler.Send), whose barrier windows serialize delivery.
+//
+// A function is an "owner context" when it receives a sim.Scheduler (its
+// owning shard is Shard()) or an integer parameter named worker, shard,
+// workerID, or shardID. A slice-typed struct field becomes a slot array
+// the moment any owner context indexes it with its owner id. Within owner
+// contexts the analyzer then flags (1) any access to a slot array through
+// an index that is not the owner id, and (2) escapes of slot references —
+// returns, stores into fields, appends, and captures inside closures
+// handed to cross-shard Send — which would let another shard touch the
+// slot without the bus. Coordinator code (no owner parameter) merges slot
+// arrays freely; it runs only between windows.
+var Shardsafe = &lint.Analyzer{
+	Name: "shardsafe",
+	Doc:  "per-shard/per-worker slot arrays are only touched via the owning index; slot references stay inside the owning context",
+	Run:  runShardsafe,
+}
+
+func runShardsafe(p *lint.Pass) []lint.Diagnostic {
+	slots := make(map[*types.Var]bool)
+	// Registration pass: a slice field indexed by an owner id anywhere in
+	// the package is a slot array everywhere in the package.
+	forEachFuncBody(p, func(ft *ast.FuncType, body *ast.BlockStmt) {
+		oc := newOwnerCtx(p, ft)
+		if oc == nil {
+			return
+		}
+		oc.collectDerived(body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // its own (possibly owner) context
+			}
+			if idx, ok := n.(*ast.IndexExpr); ok {
+				if fld := sliceFieldOf(p, idx.X); fld != nil && oc.isOwnerExpr(idx.Index) {
+					slots[fld] = true
+				}
+			}
+			return true
+		})
+	})
+	if len(slots) == 0 {
+		return nil
+	}
+	var diags []lint.Diagnostic
+	forEachFuncBody(p, func(ft *ast.FuncType, body *ast.BlockStmt) {
+		oc := newOwnerCtx(p, ft)
+		if oc == nil {
+			return
+		}
+		oc.collectDerived(body)
+		w := &slotWalker{pass: p, oc: oc, slots: slots, tainted: make(map[types.Object]bool)}
+		w.collect(body)
+		w.flag(body)
+		diags = append(diags, w.diags...)
+	})
+	return diags
+}
+
+// forEachFuncBody applies fn to every function declaration and literal of
+// the package.
+func forEachFuncBody(p *lint.Pass, fn func(*ast.FuncType, *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Type, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// sliceFieldOf returns the struct-field object e selects, when e is a
+// field access of slice type; nil otherwise.
+func sliceFieldOf(p *lint.Pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, found := p.Info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fld, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, isSlice := fld.Type().Underlying().(*types.Slice); !isSlice {
+		return nil
+	}
+	return fld
+}
+
+// ownerCtx identifies the owner id of one owner-context function.
+type ownerCtx struct {
+	pass  *lint.Pass
+	sched map[types.Object]bool // Scheduler parameters; owner id is sc.Shard()
+	owner map[types.Object]bool // integer owner parameters and derived locals
+}
+
+// ownerParamNames are the integer parameter names that mark a function as
+// worker/shard-owned execution context.
+var ownerParamNames = map[string]bool{
+	"worker": true, "shard": true, "workerID": true, "shardID": true,
+}
+
+// newOwnerCtx classifies the function: nil means coordinator context
+// (no ownership discipline applies).
+func newOwnerCtx(p *lint.Pass, ft *ast.FuncType) *ownerCtx {
+	oc := &ownerCtx{
+		pass:  p,
+		sched: make(map[types.Object]bool),
+		owner: make(map[types.Object]bool),
+	}
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if pkgPath, typeName, ok := namedType(obj.Type()); ok &&
+				typeName == "Scheduler" && (pkgPath == simPath || pkgPath == p.Pkg.Path()) {
+				oc.sched[obj] = true
+				continue
+			}
+			if basic, ok := obj.Type().Underlying().(*types.Basic); ok &&
+				basic.Info()&types.IsInteger != 0 && ownerParamNames[name.Name] {
+				oc.owner[obj] = true
+			}
+		}
+	}
+	if len(oc.sched) == 0 && len(oc.owner) == 0 {
+		return nil
+	}
+	return oc
+}
+
+// collectDerived adds locals bound to the owner id (sh := sc.Shard()) to
+// the owner set, iterating until the set stops growing.
+func (oc *ownerCtx) collectDerived(body *ast.BlockStmt) {
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i, rhs := range asg.Rhs {
+				if !oc.isOwnerExpr(rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := oc.pass.Info.Defs[id]
+				if obj == nil {
+					obj = oc.pass.Info.Uses[id]
+				}
+				if obj != nil && !oc.owner[obj] {
+					oc.owner[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+// isOwnerExpr reports whether e denotes the owning shard/worker id: an
+// owner parameter or derived local, or sc.Shard() on a Scheduler
+// parameter.
+func (oc *ownerCtx) isOwnerExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := oc.pass.Info.Uses[e]
+		return obj != nil && oc.owner[obj]
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Shard" {
+			return false
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := oc.pass.Info.Uses[id]
+		return obj != nil && oc.sched[obj]
+	}
+	return false
+}
+
+// slotWalker flags non-owner slot access and slot-reference escapes in
+// one owner-context function.
+type slotWalker struct {
+	pass    *lint.Pass
+	oc      *ownerCtx
+	slots   map[*types.Var]bool
+	tainted map[types.Object]bool // locals referencing the owner's slot
+	diags   []lint.Diagnostic
+}
+
+// slotIndex returns the indexed slot-array field for e, or nil.
+func (w *slotWalker) slotIndex(e ast.Expr) *ast.IndexExpr {
+	idx, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	if fld := sliceFieldOf(w.pass, idx.X); fld == nil || !w.slots[fld] {
+		return nil
+	}
+	return idx
+}
+
+// isTainted reports whether e references a slot: a tainted local, an
+// address of a slot element, or a reference-typed slot element.
+func (w *slotWalker) isTainted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.pass.Info.Uses[e]
+		return obj != nil && w.tainted[obj]
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && w.slotIndex(e.X) != nil
+	case *ast.IndexExpr:
+		if w.slotIndex(e) == nil {
+			return false
+		}
+		return isRefType(w.pass.Info.Types[e].Type)
+	case *ast.SliceExpr:
+		return w.isTainted(e.X)
+	}
+	return false
+}
+
+// isRefType reports whether holding a value of t keeps a live reference
+// into the slot (slices, maps, pointers, chans).
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// collect gathers slot-reference taint to a fixed point.
+func (w *slotWalker) collect(body *ast.BlockStmt) {
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i, rhs := range asg.Rhs {
+				if !w.isTainted(rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := w.pass.Info.Defs[id]
+				if obj == nil {
+					obj = w.pass.Info.Uses[id]
+				}
+				if obj != nil && !w.tainted[obj] {
+					w.tainted[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+// flag reports non-owner slot accesses and slot-reference escapes.
+func (w *slotWalker) flag(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own context
+		case *ast.IndexExpr:
+			if w.slotIndex(n) != nil && !w.oc.isOwnerExpr(n.Index) {
+				w.diags = append(w.diags, lint.Diagf(n.Pos(),
+					"%s accesses a per-shard slot array with non-owner index %s; cross-shard state goes through the bus",
+					types.ExprString(n.X), types.ExprString(n.Index)))
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if w.isTainted(r) {
+					w.diags = append(w.diags, lint.Diagf(r.Pos(),
+						"returning %s leaks a per-shard slot reference out of its owning context", types.ExprString(r)))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s, found := w.pass.Info.Selections[sel]; !found || s.Kind() != types.FieldVal {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs != nil && w.isTainted(rhs) {
+					w.diags = append(w.diags, lint.Diagf(n.Pos(),
+						"storing %s into field %s leaks a per-shard slot reference", types.ExprString(rhs), types.ExprString(lhs)))
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if b, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" {
+					for _, arg := range n.Args[1:] {
+						if w.isTainted(arg) {
+							w.diags = append(w.diags, lint.Diagf(arg.Pos(),
+								"appending %s keeps a per-shard slot reference alive outside its owning context", types.ExprString(arg)))
+						}
+					}
+				}
+				return true
+			}
+			// A closure handed to cross-shard Send runs on another shard;
+			// capturing a slot reference there bypasses the bus.
+			if recv, _, name, ok := methodCall(w.pass.Info, n); ok && name == "Send" && w.isSchedExpr(recv) {
+				for _, arg := range n.Args {
+					lit, isLit := ast.Unparen(arg).(*ast.FuncLit)
+					if !isLit {
+						continue
+					}
+					ast.Inspect(lit.Body, func(m ast.Node) bool {
+						id, isID := m.(*ast.Ident)
+						if !isID {
+							return true
+						}
+						if obj := w.pass.Info.Uses[id]; obj != nil && w.tainted[obj] {
+							w.diags = append(w.diags, lint.Diagf(id.Pos(),
+								"cross-shard Send closure captures %s, a reference into this shard's slot; pass values through the bus instead", id.Name))
+						}
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isSchedExpr reports whether e is one of the function's Scheduler
+// parameters.
+func (w *slotWalker) isSchedExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := w.pass.Info.Uses[id]
+	return obj != nil && w.oc.sched[obj]
+}

@@ -1,0 +1,77 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// tracker shows the disciplined shapes: every guarded access under the
+// lock, the lock-held-on-entry annotation, constructor writes, the
+// typed-atomic mirror, and the one justified suppression shape.
+type tracker struct {
+	mu      sync.Mutex
+	seq     int64
+	entries []string
+	live    atomic.Int64
+}
+
+// newTracker writes freely: the value is not shared yet.
+func newTracker() *tracker {
+	t := &tracker{}
+	t.seq = 1
+	t.entries = make([]string, 0, 16)
+	return t
+}
+
+// Add takes the lock around every guarded access and bumps the atomic
+// mirror outside it.
+func (t *tracker) Add(e string) {
+	t.mu.Lock()
+	t.seq++
+	t.entries = append(t.entries, e)
+	t.mu.Unlock()
+	t.live.Add(1)
+}
+
+// Len snapshots under the lock with the defer idiom.
+func (t *tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// bump is a helper its callers invoke with the lock held. Callers hold
+// t.mu.
+func (t *tracker) bump() {
+	t.seq++
+}
+
+// cache shows double-checked locking: the read probe under RLock, the
+// write under the full lock.
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (c *cache) get(k string) (int, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		return v, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.m[k]; ok {
+		return v, true
+	}
+	c.m[k] = 0
+	return 0, false
+}
+
+// startGen documents the sanctioned suppression shape: the field is
+// written before the goroutines that share it exist.
+func (t *tracker) startGen() {
+	t.seq = 0 //lint:allow atomiclock no goroutine shares t yet; the spawn below publishes it with a happens-before edge
+	go t.Add("gen")
+}

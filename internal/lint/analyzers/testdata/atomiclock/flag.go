@@ -1,0 +1,87 @@
+// Package fixture exercises the atomiclock analyzer: unguarded access to
+// mutex-guarded fields and mixed atomic/plain access live in this file,
+// the disciplined idioms in clean.go.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// box is the mirror pattern: err is the mutex-guarded truth, failed the
+// typed-atomic signal.
+type box struct {
+	mu     sync.Mutex
+	err    error
+	count  int64
+	failed atomic.Bool
+}
+
+// fail writes under the lock — this is what marks err and count guarded.
+func (b *box) fail(e error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = e
+	}
+	b.count++
+	b.mu.Unlock()
+	b.failed.Store(true)
+}
+
+// peek reads the guarded truth without the lock.
+func (b *box) peek() error {
+	return b.err // want `read of mutex-guarded field b.err without holding its lock`
+}
+
+// bump writes without the lock.
+func (b *box) bump() {
+	b.count++ // want `write to mutex-guarded field b.count without holding its lock`
+}
+
+// leakyUnlock releases early on one path, then keeps touching guarded
+// state.
+func (b *box) leakyUnlock(done bool) {
+	b.mu.Lock()
+	if done {
+		b.mu.Unlock()
+		b.count = 0 // want `write to mutex-guarded field b.count without holding its lock`
+		return
+	}
+	b.count++
+	b.mu.Unlock()
+}
+
+// registry shows the read-lock flavor.
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// set writes under the write lock, marking m guarded.
+func (r *registry) set(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+}
+
+// badSet writes under only the read lock.
+func (r *registry) badSet(k string) {
+	r.mu.RLock()
+	r.m[k] = 0 // want `write to mutex-guarded field r.m under a read lock`
+	r.mu.RUnlock()
+}
+
+// legacyCtr mixes legacy sync/atomic calls with plain access.
+type legacyCtr struct {
+	hits int64
+}
+
+// inc is the atomic side.
+func (c *legacyCtr) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read is the racy plain side.
+func (c *legacyCtr) read() int64 {
+	return c.hits // want `non-atomic access to field c.hits`
+}

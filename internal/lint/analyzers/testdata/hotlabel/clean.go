@@ -1,0 +1,63 @@
+package fixture
+
+import "github.com/uwb-sim/concurrent-ranging/internal/obs"
+
+// meter shows the sanctioned shapes: resolution in Set*/new*/attach
+// setup functions and the Record flush, with hot paths recording through
+// pre-resolved handles.
+type meter struct {
+	events *obs.CounterVec
+	good   *obs.Counter
+	bad    *obs.Counter
+	depth  *obs.Gauge
+	lazy   map[string]*obs.Counter
+}
+
+// newMeter is a constructor: resolving here runs once per component.
+func newMeter(reg *obs.Registry) *meter {
+	m := &meter{events: reg.CounterVec("fixture.events", "kind")}
+	m.good = m.events.With("good")
+	return m
+}
+
+// SetRecorder is the canonical wiring point.
+func (m *meter) SetRecorder(rec obs.Recorder) {
+	if vs, ok := rec.(obs.VecSource); ok {
+		m.events = vs.CounterVec("fixture.events", "kind")
+		m.good = m.events.With("good")
+		m.bad = m.events.With("bad")
+	}
+}
+
+// attach resolves per-worker handles once at pool start.
+func (m *meter) attach(vs obs.VecSource, workers int) {
+	m.depth = vs.GaugeVec("fixture.depth", "queue").With("q0")
+}
+
+// onEvent is the hot path: plain handle operations only.
+func (m *meter) onEvent(good bool) {
+	if good {
+		m.good.Inc()
+		return
+	}
+	m.bad.Inc()
+}
+
+// Record is the once-per-campaign flush, where label tuples are cheap.
+func (m *meter) Record(vs obs.VecSource, outcomes map[string]int64) {
+	vec := vs.CounterVec("fixture.outcomes", "outcome")
+	for k, v := range outcomes {
+		vec.With(k).Add(v)
+	}
+}
+
+// count documents the sanctioned suppression shape: an unbounded name
+// set resolved once per name into a caller-locked cache.
+func (m *meter) count(name string) {
+	ctr := m.lazy[name]
+	if ctr == nil {
+		ctr = m.events.With(name) //lint:allow hotlabel names are unbounded, so the handle is resolved once per name into a caller-locked cache
+		m.lazy[name] = ctr
+	}
+	ctr.Inc()
+}

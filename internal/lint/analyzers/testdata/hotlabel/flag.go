@@ -1,0 +1,29 @@
+// Package fixture exercises the hotlabel analyzer: per-event label
+// resolution lives in this file, the pre-resolution idiom in clean.go.
+package fixture
+
+import "github.com/uwb-sim/concurrent-ranging/internal/obs"
+
+// component records a labeled tally on every event.
+type component struct {
+	vec *obs.CounterVec
+	ok  *obs.Counter
+	rec obs.Recorder
+}
+
+// onEvent is a per-event function: the .With lookup here runs a locked
+// map access millions of times per run.
+func (c *component) onEvent(kind string) {
+	c.vec.With(kind).Inc() // want `With resolves a metric-vector label in onEvent`
+}
+
+// drain resolves a whole family per call, which is the same mistake one
+// level up.
+func (c *component) drain(vs obs.VecSource) {
+	vs.GaugeVec("fixture.depth", "queue").With("q").Set(0) // want `GaugeVec resolves a metric-vector label in drain` `With resolves a metric-vector label in drain`
+}
+
+// flush pulls a family from the registry mid-flight.
+func (c *component) flush(reg *obs.Registry) {
+	reg.CounterVec("fixture.flushes", "kind").With("full").Inc() // want `CounterVec resolves a metric-vector label in flush` `With resolves a metric-vector label in flush`
+}

@@ -1,0 +1,49 @@
+package fixture
+
+import "github.com/uwb-sim/concurrent-ranging/internal/sim"
+
+// mesh models the sanctioned idioms: owner-indexed slots, id-indexed
+// node state, coordinator merges, same-shard closures, and the one
+// justified suppression shape.
+type mesh struct {
+	slots []int64
+	nodes []int32
+}
+
+// handler touches only its own slot, through a derived local. Node state
+// is indexed by node id; nodes never becomes a slot array because no
+// owner id ever indexes it.
+func (m *mesh) handler(sc sim.Scheduler, node int) {
+	sh := sc.Shard()
+	m.slots[sh]++
+	m.nodes[node]++
+}
+
+// merge is coordinator context — no Scheduler, no owner parameter — and
+// may fold every slot freely: it runs between barrier windows, when no
+// handler is executing.
+func (m *mesh) merge() int64 {
+	total := int64(0)
+	for i := range m.slots {
+		total += m.slots[i]
+	}
+	return total
+}
+
+// reschedule keeps work on the owning shard; a same-shard Schedule
+// closure may use the slot reference because it executes on the same
+// shard, never concurrently with its owner.
+func (m *mesh) reschedule(sc sim.Scheduler) {
+	st := &m.slots[sc.Shard()]
+	_ = sc.Schedule(sc.Now()+1, func(sc sim.Scheduler) {
+		*st += 1
+	})
+}
+
+// claimed documents the sanctioned suppression: a worker that has
+// claimed a shard for the current window owns that shard's slot even
+// though the index expression is not the worker id.
+func (m *mesh) claimed(worker int, shardID2 int) {
+	st := &m.slots[shardID2] //lint:allow shardsafe the worker owns the claimed shard for this window
+	*st += 1
+}

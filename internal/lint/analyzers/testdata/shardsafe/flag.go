@@ -1,0 +1,76 @@
+// Package fixture exercises the shardsafe analyzer: cross-shard slot
+// accesses and slot-reference escapes live in this file, the
+// owner-indexed idioms in clean.go.
+package fixture
+
+import "github.com/uwb-sim/concurrent-ranging/internal/sim"
+
+// engine models a sharded component with per-shard slot arrays.
+type engine struct {
+	perShard []int64
+	traces   [][]int
+	keep     []int
+}
+
+// ownHandler is the registering access: indexing perShard and traces by
+// the owning shard anywhere marks them as slot arrays everywhere.
+func (e *engine) ownHandler(sc sim.Scheduler) {
+	e.perShard[sc.Shard()]++
+	e.traces[sc.Shard()] = append(e.traces[sc.Shard()], 1)
+}
+
+// crossShardWrite pokes a peer shard's slot directly from handler
+// context.
+func (e *engine) crossShardWrite(sc sim.Scheduler, peer int) {
+	e.perShard[peer]++ // want `accesses a per-shard slot array with non-owner index peer`
+}
+
+// crossShardRead is just as racy as a write: the owner may be mutating
+// the slot concurrently.
+func (e *engine) crossShardRead(sc sim.Scheduler) int64 {
+	return e.perShard[0] // want `accesses a per-shard slot array with non-owner index 0`
+}
+
+// leakReturn hands a reference into the owning slot to the caller, which
+// may stash it beyond the window barrier.
+func (e *engine) leakReturn(sc sim.Scheduler) []int {
+	tr := e.traces[sc.Shard()]
+	return tr // want `returning tr leaks a per-shard slot reference`
+}
+
+// leakField parks a slot reference in a field any goroutine can see.
+func (e *engine) leakField(sc sim.Scheduler) {
+	tr := e.traces[sc.Shard()]
+	e.keep = tr // want `storing tr into field e.keep leaks a per-shard slot reference`
+}
+
+// leakSend captures a slot pointer in a closure executed on another
+// shard — the exact race the bus exists to prevent.
+func (e *engine) leakSend(sc sim.Scheduler) {
+	st := &e.perShard[sc.Shard()]
+	_ = sc.Send(0, sc.Now()+1, func(sc sim.Scheduler) {
+		*st += 1 // want `cross-shard Send closure captures st`
+	})
+}
+
+// prof models the worker-indexed flavor: integer parameters named
+// worker/shard are owner ids.
+type prof struct {
+	workers []int64
+	shards  []int64
+}
+
+// tick is the registering access for workers.
+func (p *prof) tick(worker int) {
+	p.workers[worker]++
+}
+
+// outbox is the registering access for shards.
+func (p *prof) outbox(shard int, n int64) {
+	p.shards[shard] += n
+}
+
+// crossWorker reads a neighbouring worker's slot from worker context.
+func (p *prof) crossWorker(worker int) int64 {
+	return p.workers[worker+1] // want `accesses a per-shard slot array with non-owner index worker \+ 1`
+}

@@ -1,0 +1,41 @@
+package fixture
+
+import "github.com/uwb-sim/concurrent-ranging/internal/obs"
+
+// Summary has every wall-class field zeroed, json tags agreeing with the
+// Go-side names, and its live metric built from the shared suffix.
+type Summary struct {
+	Name            string  `json:"name"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSecond float64 `json:"events_per_second"`
+	EngineDrainPct  float64 `json:"engine_drain_pct"`
+	StartTime       string  `json:"start_time"`
+	Trials          int     `json:"trials"`
+}
+
+// StripWallTime zeroes the whole wall-time class.
+func (s *Summary) StripWallTime() *Summary {
+	out := *s
+	out.WallSeconds = 0
+	out.EventsPerSecond = 0
+	out.EngineDrainPct = 0
+	out.StartTime = ""
+	return &out
+}
+
+// MetricTrialsLive derives the live-gauge name from the shared suffix,
+// which is what StripWallTime keys on.
+const MetricTrialsLive = "fixture.trials" + obs.LiveMetricSuffix
+
+// legacy documents the sanctioned suppression shape for a field the
+// strip intentionally keeps: the diagnostic lands on the field
+// declaration, so that is where the justification lives.
+type legacy struct {
+	SimSeconds float64 //lint:allow wallclass simulated (virtual) time is deterministic across reruns, so the strip keeps it
+}
+
+// StripWallTime keeps SimSeconds: simulated time is deterministic.
+func (l *legacy) StripWallTime() *legacy {
+	out := *l
+	return &out
+}

@@ -1,0 +1,49 @@
+// Package fixture exercises the wallclass analyzer: wall-class fields
+// StripWallTime misses, json-tag naming drift, and raw _live literals
+// live in this file, the covered idioms in clean.go.
+package fixture
+
+// Report models a run report with a StripWallTime method that misses
+// wall-class fields.
+type Report struct {
+	Name           string
+	WallSeconds    float64
+	CIRsPerSecond  float64 // want `wall-time-class field Report.CIRsPerSecond is not zeroed by StripWallTime`
+	EngineStallPct float64
+	StartTime      string // want `wall-time-class field Report.StartTime is not zeroed by StripWallTime`
+	Trials         int
+	Items          []Item
+}
+
+// Item is rebuilt element-wise by StripWallTime; its wall-class fields
+// are checked through the per-element assignments.
+type Item struct {
+	WallSeconds     float64
+	RoundsPerSecond float64 // want `wall-time-class field Item.RoundsPerSecond is not zeroed by StripWallTime`
+	Label           string
+}
+
+// StripWallTime forgets CIRsPerSecond, StartTime, and the items'
+// RoundsPerSecond.
+func (r *Report) StripWallTime() *Report {
+	out := *r
+	out.WallSeconds = 0
+	out.EngineStallPct = 0
+	out.Items = make([]Item, len(r.Items))
+	for i, e := range r.Items {
+		e.WallSeconds = 0
+		out.Items[i] = e
+	}
+	return &out
+}
+
+// Drift pairs a wall-class json tag with a Go field named outside the
+// contract, so the Go-side StripWallTime check cannot see it.
+type Drift struct {
+	Total float64 `json:"total_seconds"`    // want `json tag "total_seconds" marks a wall-time-class value but field Total`
+	Stall float64 `json:"engine_stall_pct"` // want `json tag "engine_stall_pct" marks a wall-time-class value but field Stall`
+}
+
+// MetricRoundsLive spells the live suffix by hand instead of building it
+// from obs.LiveMetricSuffix.
+const MetricRoundsLive = "fixture.rounds_live" // want `raw "fixture.rounds_live" literal`

@@ -1,0 +1,229 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+)
+
+// Wallclass cross-checks the wall-time-class naming contract against
+// StripWallTime (DESIGN.md §17). Reports are byte-compared across
+// same-seed reruns after stripping, so every field carrying wall-clock
+// contamination must (a) follow the wall-class naming contract — suffix
+// Seconds/PerSecond, prefix Wall/Engine, or the StartTime/Runtime pair —
+// and (b) actually be zeroed by StripWallTime. The analyzer reports:
+//
+//  1. a wall-class-named field of any struct StripWallTime rebuilds that
+//     the method does not assign (the manual-drift class: a new
+//     EventsPerSecond field lands, StripWallTime is forgotten, and the
+//     determinism gate breaks one PR later);
+//  2. a json tag in the wall-time class (suffix _seconds/_per_second,
+//     prefix engine_, or start_time/runtime) on a Go field whose name is
+//     outside the contract, so the Go-side check (1) cannot drift away
+//     from the encoded report;
+//  3. a raw "_live" string literal: live-gauge names must be built from
+//     obs.LiveMetricSuffix, the suffix StripWallTime keys on to drop
+//     live-updating gauges from reports.
+var Wallclass = &lint.Analyzer{
+	Name: "wallclass",
+	Doc:  "wall-time-class report fields are zeroed by StripWallTime, named per the contract, and _live names use obs.LiveMetricSuffix",
+	Run:  runWallclass,
+}
+
+// wallClassField reports whether a Go field name is in the wall-time
+// class.
+func wallClassField(name string) bool {
+	return strings.HasSuffix(name, "Seconds") ||
+		strings.HasSuffix(name, "PerSecond") ||
+		strings.HasPrefix(name, "Wall") ||
+		strings.HasPrefix(name, "Engine") ||
+		name == "StartTime" || name == "Runtime"
+}
+
+// wallClassTag reports whether a json field name is in the wall-time
+// class.
+func wallClassTag(name string) bool {
+	return strings.HasSuffix(name, "_seconds") ||
+		strings.HasSuffix(name, "_per_second") ||
+		strings.HasPrefix(name, "engine_") ||
+		name == "start_time" || name == "runtime"
+}
+
+func runWallclass(p *lint.Pass) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	diags = append(diags, stripCoverage(p)...)
+	diags = append(diags, tagDrift(p)...)
+	diags = append(diags, rawLiveLiterals(p)...)
+	return diags
+}
+
+// stripCoverage checks that every wall-class field of the structs a
+// StripWallTime method rebuilds is assigned by that method.
+func stripCoverage(p *lint.Pass) []lint.Diagnostic {
+	assigned := make(map[*types.Var]bool)
+	checked := make(map[*types.Named]bool)
+	found := false
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "StripWallTime" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			found = true
+			if recv := recvNamed(p, fd); recv != nil {
+				checked[recv] = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				asg, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range asg.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					s, okSel := p.Info.Selections[sel]
+					if !okSel || s.Kind() != types.FieldVal {
+						continue
+					}
+					fld, ok := s.Obj().(*types.Var)
+					if !ok {
+						continue
+					}
+					assigned[fld] = true
+					if named := namedOf(s.Recv()); named != nil {
+						checked[named] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !found {
+		return nil
+	}
+	var diags []lint.Diagnostic
+	for named := range checked {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if wallClassField(fld.Name()) && !assigned[fld] {
+				diags = append(diags, lint.Diagf(fld.Pos(),
+					"wall-time-class field %s.%s is not zeroed by StripWallTime; stripped reports will differ across reruns",
+					named.Obj().Name(), fld.Name()))
+			}
+		}
+	}
+	return diags
+}
+
+// recvNamed resolves the named type of a method's receiver.
+func recvNamed(p *lint.Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	obj := p.Info.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return nil
+	}
+	return namedOf(obj.Type())
+}
+
+// namedOf strips pointers/aliases and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// tagDrift flags wall-class json tags on Go fields named outside the
+// contract.
+func tagDrift(p *lint.Pass) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if field.Tag == nil || len(field.Names) == 0 {
+					continue
+				}
+				raw, err := strconv.Unquote(field.Tag.Value)
+				if err != nil {
+					continue
+				}
+				jsonName, _, _ := strings.Cut(reflect.StructTag(raw).Get("json"), ",")
+				if jsonName == "" || jsonName == "-" || !wallClassTag(jsonName) {
+					continue
+				}
+				for _, name := range field.Names {
+					if !wallClassField(name.Name) {
+						diags = append(diags, lint.Diagf(name.Pos(),
+							"json tag %q marks a wall-time-class value but field %s is named outside the wall-class contract (Seconds/PerSecond suffix, Wall/Engine prefix, StartTime, Runtime)",
+							jsonName, name.Name))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// rawLiveLiterals flags "_live"-suffixed string literals spelled without
+// obs.LiveMetricSuffix. The declaration of LiveMetricSuffix itself is the
+// one sanctioned raw spelling.
+func rawLiveLiterals(p *lint.Pass) []lint.Diagnostic {
+	exempt := make(map[*ast.BasicLit]bool)
+	var diags []lint.Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for _, name := range spec.Names {
+				if name.Name != "LiveMetricSuffix" {
+					continue
+				}
+				for _, v := range spec.Values {
+					if lit, ok := ast.Unparen(v).(*ast.BasicLit); ok {
+						exempt[lit] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || exempt[lit] {
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if strings.HasSuffix(val, "_live") {
+				diags = append(diags, lint.Diagf(lit.Pos(),
+					"raw %q literal: build live-gauge names with obs.LiveMetricSuffix so StripWallTime recognizes the live class", val))
+			}
+			return true
+		})
+	}
+	return diags
+}

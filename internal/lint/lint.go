@@ -70,17 +70,29 @@ func Diagf(pos token.Pos, format string, args ...any) Diagnostic {
 // the first token of the comment text.
 var allowRe = regexp.MustCompile(`^lint:allow\s+([A-Za-z0-9_-]+)\s*(.*)$`)
 
-// suppression is one parsed //lint:allow directive.
-type suppression struct {
-	analyzer  string
-	justified bool
-	file      string
-	line      int
+// Suppression is one parsed //lint:allow directive. AuditAnalyzers fills
+// Used so drivers can report stale directives that no longer match any
+// finding.
+type Suppression struct {
+	// Analyzer is the name the directive silences.
+	Analyzer string
+	// Justification is the free text after the analyzer name; empty means
+	// the directive is itself a violation.
+	Justification string
+	// File and Line locate the directive.
+	File string
+	Line int
+	// Used reports whether the directive suppressed at least one finding
+	// of its analyzer during the run that produced it.
+	Used bool
 }
 
-// suppressions extracts every //lint:allow directive from the pass.
-func suppressions(p *Pass) []suppression {
-	var out []suppression
+// Justified reports whether the directive carries a justification.
+func (s *Suppression) Justified() bool { return s.Justification != "" }
+
+// parseSuppressions extracts every //lint:allow directive from the pass.
+func parseSuppressions(p *Pass) []*Suppression {
+	var out []*Suppression
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -90,11 +102,11 @@ func suppressions(p *Pass) []suppression {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				out = append(out, suppression{
-					analyzer:  m[1],
-					justified: strings.TrimSpace(m[2]) != "",
-					file:      pos.Filename,
-					line:      pos.Line,
+				out = append(out, &Suppression{
+					Analyzer:      m[1],
+					Justification: strings.TrimSpace(m[2]),
+					File:          pos.Filename,
+					Line:          pos.Line,
 				})
 			}
 		}
@@ -107,27 +119,39 @@ func suppressions(p *Pass) []suppression {
 // suppressions (as analyzer "lint"), and returns the remainder sorted by
 // position.
 func RunAnalyzers(p *Pass, analyzers []*Analyzer) []Diagnostic {
-	sups := suppressions(p)
-	allowed := make(map[string]bool) // "file:line:analyzer"
+	diags, _ := AuditAnalyzers(p, analyzers)
+	return diags
+}
+
+// AuditAnalyzers is RunAnalyzers plus the suppression inventory: it
+// returns the surviving diagnostics together with every //lint:allow
+// directive found in the pass, each marked Used when it silenced at least
+// one finding. A justified directive that never matches a finding of its
+// analyzer is stale — the code it excused has moved or been fixed — and
+// drivers (crlint -audit) treat it as an error.
+func AuditAnalyzers(p *Pass, analyzers []*Analyzer) ([]Diagnostic, []*Suppression) {
+	sups := parseSuppressions(p)
+	allowed := make(map[string]*Suppression) // "file:line:analyzer"
 	var diags []Diagnostic
 	for _, s := range sups {
-		if !s.justified {
+		if !s.Justified() {
 			diags = append(diags, Diagnostic{
 				Analyzer: "lint",
-				Pos:      posAt(p, s.file, s.line),
-				Message:  fmt.Sprintf("lint:allow %s needs a justification comment after the analyzer name", s.analyzer),
+				Pos:      posAt(p, s.File, s.Line),
+				Message:  fmt.Sprintf("lint:allow %s needs a justification comment after the analyzer name", s.Analyzer),
 			})
 			continue
 		}
-		allowed[fmt.Sprintf("%s:%d:%s", s.file, s.line, s.analyzer)] = true
+		allowed[fmt.Sprintf("%s:%d:%s", s.File, s.Line, s.Analyzer)] = s
 		// A directive on its own line suppresses the line below it.
-		allowed[fmt.Sprintf("%s:%d:%s", s.file, s.line+1, s.analyzer)] = true
+		allowed[fmt.Sprintf("%s:%d:%s", s.File, s.Line+1, s.Analyzer)] = s
 	}
 	for _, a := range analyzers {
 		for _, d := range a.Run(p) {
 			d.Analyzer = a.Name
 			pos := p.Fset.Position(d.Pos)
-			if allowed[fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, a.Name)] {
+			if s := allowed[fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, a.Name)]; s != nil {
+				s.Used = true
 				continue
 			}
 			diags = append(diags, d)
@@ -143,7 +167,13 @@ func RunAnalyzers(p *Pass, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Message < diags[j].Message
 	})
-	return diags
+	sort.Slice(sups, func(i, j int) bool {
+		if sups[i].File != sups[j].File {
+			return sups[i].File < sups[j].File
+		}
+		return sups[i].Line < sups[j].Line
+	})
+	return diags, sups
 }
 
 // posAt recovers a token.Pos for a file/line pair, so suppression

@@ -28,6 +28,7 @@ type Loader struct {
 	moduleDir  string
 	modulePath string
 	deps       map[string]*types.Package
+	loading    map[string]bool
 }
 
 // NewLoader builds a loader rooted at the module directory, reading the
@@ -52,6 +53,7 @@ func NewLoader(moduleDir string) (*Loader, error) {
 		moduleDir:  moduleDir,
 		modulePath: modPath,
 		deps:       make(map[string]*types.Package),
+		loading:    make(map[string]bool),
 	}, nil
 }
 
@@ -90,6 +92,14 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if pkg, ok := l.deps[path]; ok {
 		return pkg, nil
 	}
+	// A package re-entered before its own check finished can only mean a
+	// cyclic import chain; without this guard the importer would recurse
+	// until the stack blows.
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
 	dir, err := l.dirFor(path)
 	if err != nil {
 		return nil, err
@@ -152,6 +162,10 @@ func (l *Loader) LoadDir(dir string) (*Pass, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
 	}
+	// Guard the target package too: a dependency importing it back is a
+	// cycle, not a reason to re-check the target as its own dependency.
+	l.loading[path] = true
+	defer delete(l.loading, path)
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),

@@ -1,0 +1,196 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/uwb-sim/concurrent-ranging/internal/lint"
+)
+
+// writeModule lays out a synthetic module in a temp directory: keys are
+// slash-separated paths relative to the module root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadDirSkipsConstrainedFiles checks that a file excluded by a build
+// constraint never reaches the type checker: the excluded file carries a
+// deliberate type error, so loading only succeeds if the constraint is
+// honored.
+func TestLoadDirSkipsConstrainedFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":       "module example.com/tags\n\ngo 1.21\n",
+		"pkg/ok.go":    "package pkg\n\nfunc Ok() int { return 1 }\n",
+		"pkg/never.go": "//go:build lintneverbuild\n\npackage pkg\n\nvar broken int = \"not an int\"\n",
+	})
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, err := loader.LoadDir(filepath.Join(root, "pkg"))
+	if err != nil {
+		t.Fatalf("LoadDir with constrained broken file: %v", err)
+	}
+	if len(pass.Files) != 1 {
+		t.Errorf("loaded %d files, want 1 (never.go excluded by its build tag)", len(pass.Files))
+	}
+}
+
+// TestLoadDirSkipsTestFiles checks the _test.go exclusion the same way:
+// the test file carries a type error that must never be seen.
+func TestLoadDirSkipsTestFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":          "module example.com/tests\n\ngo 1.21\n",
+		"pkg/ok.go":       "package pkg\n\nfunc Ok() int { return 1 }\n",
+		"pkg/ok_test.go":  "package pkg\n\nvar broken int = \"not an int\"\n",
+		"pkg/ext_test.go": "package pkg_test\n\nvar alsoBroken int = \"no\"\n",
+	})
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, err := loader.LoadDir(filepath.Join(root, "pkg"))
+	if err != nil {
+		t.Fatalf("LoadDir with broken test files: %v", err)
+	}
+	if len(pass.Files) != 1 {
+		t.Errorf("loaded %d files, want 1 (_test.go files excluded)", len(pass.Files))
+	}
+}
+
+// TestLoadDirImportCycle checks that a cyclic module-internal import
+// chain surfaces as a reported error rather than unbounded importer
+// recursion, and that the error names the cycle.
+func TestLoadDirImportCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/cyc\n\ngo 1.21\n",
+		"a/a.go": "package a\n\nimport \"example.com/cyc/b\"\n\nfunc A() int { return b.B() }\n",
+		"b/b.go": "package b\n\nimport \"example.com/cyc/a\"\n\nfunc B() int { return a.A() }\n",
+	})
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.LoadDir(filepath.Join(root, "a"))
+	if err == nil {
+		t.Fatal("LoadDir on a cyclic package pair succeeded, want an import-cycle error")
+	}
+	if !strings.Contains(err.Error(), "import cycle through") {
+		t.Errorf("error does not name the cycle: %v", err)
+	}
+	if !strings.Contains(err.Error(), "example.com/cyc") {
+		t.Errorf("error does not name the cycling package: %v", err)
+	}
+}
+
+// TestLoadDirCycleGuardResets checks that a failed cyclic load leaves the
+// loader usable: the guard set is unwound, so an acyclic sibling package
+// still loads through the same loader.
+func TestLoadDirCycleGuardResets(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":   "module example.com/cyc2\n\ngo 1.21\n",
+		"a/a.go":   "package a\n\nimport \"example.com/cyc2/b\"\n\nfunc A() int { return b.B() }\n",
+		"b/b.go":   "package b\n\nimport \"example.com/cyc2/a\"\n\nfunc B() int { return a.A() }\n",
+		"ok/ok.go": "package ok\n\nfunc Ok() int { return 1 }\n",
+	})
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadDir(filepath.Join(root, "a")); err == nil {
+		t.Fatal("cyclic load succeeded, want error")
+	}
+	if _, err := loader.LoadDir(filepath.Join(root, "ok")); err != nil {
+		t.Errorf("acyclic load after a cycle failure: %v", err)
+	}
+}
+
+// TestTargetsSkipsNonPackageDirs checks the walk rules: testdata, hidden,
+// and underscore-prefixed directories are pruned, and directories without
+// buildable Go files are passed over without error.
+func TestTargetsSkipsNonPackageDirs(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                "module example.com/walk\n\ngo 1.21\n",
+		"pkg/ok.go":             "package pkg\n\nfunc Ok() {}\n",
+		"pkg/testdata/fix.go":   "package fix\n\nvar broken int = \"no\"\n",
+		"_attic/old.go":         "package old\n\nvar broken int = \"no\"\n",
+		".hidden/h.go":          "package h\n\nvar broken int = \"no\"\n",
+		"docs/README.md":        "no go files here\n",
+		"nested/deep/leaf.go":   "package deep\n\nfunc Leaf() {}\n",
+		"nested/deep/extra.txt": "not go\n",
+	})
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := loader.Targets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, tgt := range targets {
+		paths = append(paths, tgt.Path)
+	}
+	want := []string{"example.com/walk/nested/deep", "example.com/walk/pkg"}
+	if len(paths) != len(want) {
+		t.Fatalf("Targets = %v, want %v", paths, want)
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		seen[p] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("Targets = %v, missing %v", paths, w)
+		}
+	}
+}
+
+// TestTargetsReportsImports checks that a target carries its direct
+// imports, which drivers use to decide analyzer applicability without
+// type-checking.
+func TestTargetsReportsImports(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":    "module example.com/imp\n\ngo 1.21\n",
+		"pkg/ok.go": "package pkg\n\nimport \"fmt\"\n\nfunc Ok() { fmt.Println() }\n",
+	})
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := loader.Targets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("Targets returned %d entries, want 1", len(targets))
+	}
+	if len(targets[0].Imports) != 1 || targets[0].Imports[0] != "fmt" {
+		t.Errorf("Imports = %v, want [fmt]", targets[0].Imports)
+	}
+}
+
+// TestNewLoaderErrors pins the constructor's failure modes: a missing
+// go.mod and one without a module directive.
+func TestNewLoaderErrors(t *testing.T) {
+	if _, err := lint.NewLoader(t.TempDir()); err == nil {
+		t.Error("NewLoader without go.mod succeeded, want error")
+	}
+	root := writeModule(t, map[string]string{"go.mod": "// no module line\ngo 1.21\n"})
+	if _, err := lint.NewLoader(root); err == nil {
+		t.Error("NewLoader without a module directive succeeded, want error")
+	}
+}

@@ -170,7 +170,7 @@ func (t *Tracer) SetMetrics(rec obs.Recorder) {
 	t.eventCtrs = make(map[string]*obs.Counter)
 }
 
-// countSpan / countEvent bump the mirror counters. Callers hold t.mu.
+// countSpan bumps the span mirror counter. Callers hold t.mu.
 func (t *Tracer) countSpan(name string) {
 	if t.rec == nil {
 		return
@@ -178,7 +178,7 @@ func (t *Tracer) countSpan(name string) {
 	if t.spanVec != nil {
 		ctr := t.spanCtrs[name]
 		if ctr == nil {
-			ctr = t.spanVec.With(name)
+			ctr = t.spanVec.With(name) //lint:allow hotlabel span names are unbounded, so the handle is resolved once per name into spanCtrs, a cache guarded by t.mu
 			t.spanCtrs[name] = ctr
 		}
 		ctr.Inc()
@@ -187,6 +187,7 @@ func (t *Tracer) countSpan(name string) {
 	t.rec.Count(MetricSpans, 1)
 }
 
+// countEvent bumps the event mirror counter. Callers hold t.mu.
 func (t *Tracer) countEvent(name string) {
 	if t.rec == nil {
 		return
@@ -194,7 +195,7 @@ func (t *Tracer) countEvent(name string) {
 	if t.eventVec != nil {
 		ctr := t.eventCtrs[name]
 		if ctr == nil {
-			ctr = t.eventVec.With(name)
+			ctr = t.eventVec.With(name) //lint:allow hotlabel event names are unbounded, so the handle is resolved once per name into eventCtrs, a cache guarded by t.mu
 			t.eventCtrs[name] = ctr
 		}
 		ctr.Inc()
@@ -203,6 +204,8 @@ func (t *Tracer) countEvent(name string) {
 	t.rec.Count(MetricEvents, 1)
 }
 
+// countSampledOut bumps the sampled-out mirror counter. Callers hold
+// t.mu.
 func (t *Tracer) countSampledOut() {
 	if t.rec == nil {
 		return

@@ -142,19 +142,19 @@ type WindowPoint struct {
 }
 
 // WindowSnapshot is a point-in-time copy of one metric's window ring.
-// CountRate and SumRate are per-second rates over the ring's completed
+// CountRatePerSecond and SumRatePerSecond are per-second rates over the ring's completed
 // windows (falling back to the in-progress window when it is all there
 // is); the quantiles are bucket-interpolated over every live window's
 // observations, i.e. "p95 over the last N·width seconds".
 type WindowSnapshot struct {
-	Name         string        `json:"name"`
-	WidthSeconds float64       `json:"width_seconds"`
-	Points       []WindowPoint `json:"points,omitempty"`
-	CountRate    float64       `json:"count_rate_per_second"`
-	SumRate      float64       `json:"sum_rate_per_second"`
-	P50          *float64      `json:"p50,omitempty"`
-	P95          *float64      `json:"p95,omitempty"`
-	P99          *float64      `json:"p99,omitempty"`
+	Name               string        `json:"name"`
+	WidthSeconds       float64       `json:"width_seconds"`
+	Points             []WindowPoint `json:"points,omitempty"`
+	CountRatePerSecond float64       `json:"count_rate_per_second"`
+	SumRatePerSecond   float64       `json:"sum_rate_per_second"`
+	P50                *float64      `json:"p50,omitempty"`
+	P95                *float64      `json:"p95,omitempty"`
+	P99                *float64      `json:"p99,omitempty"`
 }
 
 // Snapshot copies the ring's live windows out. The current (partial)
@@ -207,15 +207,15 @@ func (w *Window) Snapshot(name string) WindowSnapshot {
 
 	if completeWindows > 0 {
 		span := float64(completeWindows) * w.width.Seconds()
-		snap.CountRate = float64(completeCount) / span
-		snap.SumRate = completeSum / span
+		snap.CountRatePerSecond = float64(completeCount) / span
+		snap.SumRatePerSecond = completeSum / span
 	} else if len(snap.Points) > 0 {
 		// Only the in-progress window exists; rate over its elapsed part.
 		elapsed := now.Sub(time.Unix(0, nowEpoch*int64(w.width))).Seconds()
 		if elapsed > 0 {
 			last := snap.Points[len(snap.Points)-1]
-			snap.CountRate = float64(last.Count) / elapsed
-			snap.SumRate = last.Sum / elapsed
+			snap.CountRatePerSecond = float64(last.Count) / elapsed
+			snap.SumRatePerSecond = last.Sum / elapsed
 		}
 	}
 

@@ -26,11 +26,11 @@ func TestWindowRatesOverCompletedWindows(t *testing.T) {
 	}
 	w.Add(2) // in-progress window, excluded from the rates
 	snap := w.Snapshot("m")
-	if snap.CountRate != 10 {
-		t.Fatalf("CountRate = %g, want 10", snap.CountRate)
+	if snap.CountRatePerSecond != 10 {
+		t.Fatalf("CountRatePerSecond = %g, want 10", snap.CountRatePerSecond)
 	}
-	if snap.SumRate != 20 {
-		t.Fatalf("SumRate = %g, want 20", snap.SumRate)
+	if snap.SumRatePerSecond != 20 {
+		t.Fatalf("SumRatePerSecond = %g, want 20", snap.SumRatePerSecond)
 	}
 	if len(snap.Points) != 3 {
 		t.Fatalf("got %d points, want 3 (2 complete + 1 partial): %+v", len(snap.Points), snap.Points)
@@ -53,8 +53,8 @@ func TestWindowPartialOnlyRate(t *testing.T) {
 	w.Add(1)
 	// Only the in-progress window exists; the rate covers its elapsed half.
 	snap := w.Snapshot("m")
-	if snap.CountRate != 4 {
-		t.Fatalf("CountRate = %g, want 4 (2 adds over 0.5 s)", snap.CountRate)
+	if snap.CountRatePerSecond != 4 {
+		t.Fatalf("CountRatePerSecond = %g, want 4 (2 adds over 0.5 s)", snap.CountRatePerSecond)
 	}
 }
 
@@ -109,8 +109,8 @@ func TestRegistryWatchFeedsWindows(t *testing.T) {
 	if !ok {
 		t.Fatalf("snapshot has no window for m: %+v", snap.Windows)
 	}
-	if ws.SumRate != 5 {
-		t.Fatalf("SumRate = %g, want 5", ws.SumRate)
+	if ws.SumRatePerSecond != 5 {
+		t.Fatalf("SumRatePerSecond = %g, want 5", ws.SumRatePerSecond)
 	}
 	if _, ok := snap.WindowByName("other"); ok {
 		t.Fatal("unwatched metric grew a window")

@@ -227,7 +227,7 @@ func (p *EngineProfiler) runShard(worker int, sh *shard, end float64) {
 	sh.runWindow(end)
 	t1 := p.clock()
 	span := t1 - t0
-	ps := &p.shards[sh.id]
+	ps := &p.shards[sh.id] //lint:allow shardsafe the worker owns sh for this window via the atomic-cursor claim, so sh.id is the owning index here
 	ps.events += int64(sh.executed - before)
 	ps.busy += span
 	ps.windows++

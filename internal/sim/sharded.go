@@ -190,13 +190,22 @@ func (se *ShardedEngine) fail(err error) {
 	se.failed.Store(true)
 }
 
+// runErr returns the first failure recorded by fail, if any. Run reads it
+// between barrier windows, after the worker pool has joined, but the
+// happens-before edge still comes from se.mu, not the join.
+func (se *ShardedEngine) runErr() error {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.err
+}
+
 // Run executes barrier windows until every shard's queue is empty or a
 // failure is recorded. It returns the total number of events executed and
 // the failure, if any.
 func (se *ShardedEngine) Run() (int, error) {
 	se.running = true
 	defer func() { se.running = false }()
-	for se.err == nil {
+	for se.runErr() == nil {
 		// Window start: the global minimum pending event time.
 		start := math.Inf(1)
 		for i := range se.shards {
@@ -240,7 +249,7 @@ func (se *ShardedEngine) Run() (int, error) {
 	for i := range se.shards {
 		total += se.shards[i].executed
 	}
-	return total, se.err
+	return total, se.runErr()
 }
 
 // runWindow executes every active shard's events in [its current head,

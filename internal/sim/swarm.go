@@ -523,11 +523,15 @@ func (s *Swarm) gauss(node int32, round uint32, stream uint64) float64 {
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
-// trace appends a canonical trace record to the shard-local buffer.
-func (s *Swarm) trace(shard int, t float64, node int32, kind uint8, other int32) {
+// trace appends a canonical trace record to the executing shard's buffer.
+// Taking the Scheduler (rather than a raw shard index) makes the slot
+// ownership structural: the buffer written is always the calling
+// handler's own, which is what lets handlers trace without locks.
+func (s *Swarm) trace(sc Scheduler, t float64, node int32, kind uint8, other int32) {
 	if !s.cfg.RecordTrace {
 		return
 	}
+	shard := sc.Shard()
 	s.shardTraces[shard] = append(s.shardTraces[shard], SwarmEvent{T: t, Node: node, Other: other, Kind: kind})
 }
 
@@ -581,7 +585,7 @@ func (s *Swarm) roundPrep(init int32, k uint32) Handler {
 		pi := n.track.Pos(tTX)
 		if err := sc.Schedule(tTX, func(sc Scheduler) {
 			s.shardStats[sc.Shard()].Frames++
-			s.trace(sc.Shard(), tTX, init, SwarmTXInit, int32(k))
+			s.trace(sc, tTX, init, SwarmTXInit, int32(k))
 		}); err != nil {
 			sc.Fail(err)
 			return
@@ -638,7 +642,7 @@ func (s *Swarm) rxInit(rd *swarmRound, resp int32, cross bool) Handler {
 		if cross {
 			st.CrossShardFrames++
 		}
-		s.trace(sc.Shard(), now, resp, SwarmRXInit, rd.init)
+		s.trace(sc, now, resp, SwarmRXInit, rd.init)
 		rn := &s.nodes[resp]
 		if rn.busyUntil > now {
 			st.BusySkips++
@@ -655,7 +659,7 @@ func (s *Swarm) rxInit(rd *swarmRound, resp int32, cross bool) Handler {
 		st.Responses++
 		if err := sc.Schedule(tResp, func(sc Scheduler) {
 			s.shardStats[sc.Shard()].Frames++
-			s.trace(sc.Shard(), tResp, resp, SwarmTXResp, rd.init)
+			s.trace(sc, tResp, resp, SwarmTXResp, rd.init)
 		}); err != nil {
 			sc.Fail(err)
 			return
@@ -683,7 +687,7 @@ func (s *Swarm) rxResp(rd *swarmRound, resp int32, cross bool, estErr float64) H
 		if cross {
 			st.CrossShardFrames++
 		}
-		s.trace(sc.Shard(), sc.Now(), rd.init, SwarmRXResp, resp)
+		s.trace(sc, sc.Now(), rd.init, SwarmRXResp, resp)
 		rn := &s.nodes[resp]
 		rd.arrivals = append(rd.arrivals, swarmArrival{
 			estErr: estErr, resp: resp, slot: rn.slot, shape: rn.shape,
@@ -699,7 +703,7 @@ func (s *Swarm) roundDone(rd *swarmRound) Handler {
 	return func(sc Scheduler) {
 		st := &s.shardStats[sc.Shard()]
 		st.RoundsCompleted++
-		s.trace(sc.Shard(), sc.Now(), rd.init, SwarmRoundDone, int32(len(rd.arrivals)))
+		s.trace(sc, sc.Now(), rd.init, SwarmRoundDone, int32(len(rd.arrivals)))
 		slices.SortFunc(rd.arrivals, func(a, b swarmArrival) int { return int(a.resp - b.resp) })
 		occ := s.scratch[sc.Shard()]
 		numSlots := uint16(s.cfg.Plan.NumSlots)
